@@ -1,0 +1,56 @@
+"""Ablation: the X-drop parameter vs alignment cost and quality (§4.2).
+
+"The costs vary by read lengths and runtime parameters (for example, the
+value of X for the X-drop algorithm)".  Sweeping X on real noisy overlaps
+shows the cost/quality trade: larger X explores a wider band (more cells,
+more simulated seconds) and recovers equal-or-better scores, with
+diminishing returns past the error-bridging threshold.
+"""
+
+import numpy as np
+
+from conftest import emit, run_once
+
+from repro.align.xdrop import XDropExtender
+from repro.genome import alphabet
+from repro.genome.synth import ErrorModel
+
+XS = (5, 10, 15, 25, 50, 100)
+
+
+def sweep():
+    rng = np.random.default_rng(3)
+    em = ErrorModel(error_rate=0.15, n_rate=0.0)
+    pairs = []
+    for _ in range(20):
+        core = alphabet.random_sequence(1500, rng)
+        pairs.append((em.apply(core, rng), em.apply(core, rng)))
+
+    rows = []
+    for x in XS:
+        ext = XDropExtender(x_drop=x)
+        results = [ext.extend(a, b) for a, b in pairs]
+        rows.append([
+            x,
+            round(float(np.mean([r.score for r in results])), 1),
+            round(float(np.mean([r.length_a for r in results])), 0),
+            int(np.mean([r.cells for r in results])),
+        ])
+    return {
+        "title": "Ablation: X-drop X parameter on 1.5kb true overlaps "
+                 "(15% error per read)",
+        "columns": ["X", "mean_score", "mean_extension", "mean_cells"],
+        "rows": rows,
+    }
+
+
+def test_ablation_xdrop(benchmark):
+    fig = run_once(benchmark, sweep)
+    emit("ablation_xdrop", fig)
+    rows = fig["rows"]
+    scores = [r[1] for r in rows]
+    cells = [r[3] for r in rows]
+    # monotone cost growth, non-decreasing quality with diminishing returns
+    assert all(c2 >= c1 for c1, c2 in zip(cells, cells[1:]))
+    assert scores[-1] >= scores[0]
+    assert scores[3] >= 0.95 * scores[-1]  # X=25 already near-optimal

@@ -1,0 +1,35 @@
+"""Figure 11: maximum per-core memory footprint, Human CCS.
+
+Paper's claims checked in shape:
+* everything stays under the ~1.4 GB application-available line;
+* at 8-32 nodes the BSP footprint is capped by available memory (multiple
+  rounds) and exceeds the async footprint severalfold;
+* from 64 nodes the BSP footprint tracks the single-exchange estimate;
+* the async footprint stays low (<256 MB) and nearly flat across scales.
+"""
+
+from conftest import emit, human_nodes, run_once
+
+from repro.perf.figures import fig11_12_memory
+
+
+def test_fig11_memory_footprint(benchmark, human_nodes):
+    fig = run_once(benchmark, fig11_12_memory, human_nodes)
+    emit("fig11", fig)
+    rows = {r[0]: r for r in fig["rows"]}
+
+    for n, r in rows.items():
+        _, cores, bsp_mb, async_mb, est_mb, avail_mb, rounds, *_ = r
+        assert bsp_mb <= avail_mb * 1.001
+        assert async_mb <= 256.0
+        if rounds == 1:
+            # single-exchange regime: footprint tracks the estimate
+            # (plus fixed runtime state and send staging)
+            assert bsp_mb >= est_mb * 0.9
+            assert bsp_mb <= est_mb * 2.5 + 150.0
+
+    first, last = rows[min(rows)], rows[max(rows)]
+    # async flat across scales
+    assert abs(first[3] - last[3]) < 100.0
+    # BSP well above async in the memory-capped regime
+    assert first[2] > 3 * first[3]

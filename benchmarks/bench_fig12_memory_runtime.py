@@ -1,0 +1,28 @@
+"""Figure 12: absolute memory footprint and runtime overlay, Human CCS.
+
+Paper's claims checked in shape: async maintains a lower runtime via
+communication-computation overlap and a (typically much) lower memory
+footprint; at the largest scale the two codes' footprints converge.
+"""
+
+from conftest import emit, human_nodes, run_once
+
+from repro.perf.figures import fig11_12_memory
+
+
+def test_fig12_memory_runtime(benchmark, human_nodes):
+    fig = run_once(benchmark, fig11_12_memory, human_nodes)
+    emit("fig12", fig)
+    rows = {r[0]: r for r in fig["rows"]}
+
+    for n, r in rows.items():
+        bsp_mb, async_mb = r[2], r[3]
+        bsp_wall, async_wall = r[7], r[8]
+        assert async_wall <= bsp_wall * 1.005
+        assert async_mb <= bsp_mb * 1.2
+
+    # footprints converge at scale: ratio shrinks from first to last
+    first, last = rows[min(rows)], rows[max(rows)]
+    assert last[2] / last[3] < first[2] / first[3]
+    # runtimes strong-scale
+    assert last[7] < first[7] and last[8] < first[8]

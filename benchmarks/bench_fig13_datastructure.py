@@ -1,0 +1,27 @@
+"""Figure 13: local data-structure traversal overhead, Human CCS.
+
+Paper's claims checked in shape: the flat-array BSP code pays less
+traversal overhead than the pointer-based async code at every scale (the
+performance/programmability trade-off of §4.6); absolute overhead scales
+down with P while remaining a small single-digit share of runtime
+(paper: down to ~4%).
+"""
+
+from conftest import emit, human_nodes, run_once
+
+from repro.perf.figures import fig13_datastructure
+
+
+def test_fig13_datastructure(benchmark, human_nodes):
+    fig = run_once(benchmark, fig13_datastructure, human_nodes)
+    emit("fig13", fig)
+    rows = fig["rows"]
+
+    for r in rows:
+        n, cores, bsp_s, async_s, bsp_pct, async_pct = r
+        assert async_s > bsp_s            # pointer chasing costs more
+        assert async_pct < 12.0           # but stays a small share
+
+    # absolute overhead scales down with P
+    assert rows[-1][3] < rows[0][3]
+    assert rows[-1][2] < rows[0][2]

@@ -1,0 +1,28 @@
+"""Figure 4: single-node breakdowns, E. coli 30x vs 100x (64 cores).
+
+Paper's claims checked in shape:
+* the larger problem is more compute-dominated (~94% vs ~90%);
+* the codes differ by <~1% of runtime (paper: ~1s, <0.3%);
+* E. coli 100x needs ~7 hours on one core => ~400s on 64 cores.
+"""
+
+from conftest import emit, run_once
+
+from repro.perf.figures import fig4_single_node
+
+
+def test_fig4_single_node(benchmark):
+    fig = run_once(benchmark, fig4_single_node)
+    emit("fig4", fig)
+    rows = {(r[0], r[1]): r for r in fig["rows"]}
+
+    small_bsp = rows[("ecoli30x", "bsp")]
+    large_bsp = rows[("ecoli100x", "bsp")]
+    # compute-dominance ordering and rough levels (align% column)
+    assert large_bsp[5] > small_bsp[5]
+    assert large_bsp[5] > 90
+    assert small_bsp[5] > 85
+
+    for name in ("ecoli30x", "ecoli100x"):
+        b, a = rows[(name, "bsp")], rows[(name, "async")]
+        assert abs(b[4] - a[4]) / b[4] < 0.02  # wall_s within 2%

@@ -1,0 +1,27 @@
+"""Figure 5: min/avg/max cumulative seed-and-extend time + load imbalance.
+
+Paper's claims checked in shape: the per-rank alignment-time spread widens
+relative to the mean as Human CCS strong-scales (static by-count
+partitioning of variable-cost tasks), so the max/avg imbalance factor
+grows with scale.
+"""
+
+from conftest import emit, human_nodes, run_once
+
+from repro.perf.figures import fig5_load_imbalance
+
+
+def test_fig5_load_imbalance(benchmark, human_nodes):
+    fig = run_once(benchmark, fig5_load_imbalance, human_nodes)
+    emit("fig5", fig)
+    rows = fig["rows"]
+    imb = [r[5] for r in rows]
+    assert all(x >= 1.0 for x in imb)
+    # imbalance grows with scale
+    assert imb[-1] > imb[0]
+    # min <= avg <= max on every row
+    for r in rows:
+        assert r[2] <= r[3] <= r[4]
+    # cumulative averages scale down with P (strong scaling)
+    avgs = [r[3] for r in rows]
+    assert avgs[-1] < avgs[0]

@@ -1,0 +1,27 @@
+"""Figure 6: BSP exchange load imbalance (received bytes per core).
+
+Paper's claims checked in shape: "there is a large difference between the
+minimum and maximum loads" at every scale; the absolute spread shrinks as
+volume per core shrinks, while the relative spread (max/min) grows with
+scale as fewer reads per rank average less.
+"""
+
+from conftest import emit, human_nodes, run_once
+
+from repro.perf.figures import fig6_comm_imbalance
+
+
+def test_fig6_comm_imbalance(benchmark, human_nodes):
+    fig = run_once(benchmark, fig6_comm_imbalance, human_nodes)
+    emit("fig6", fig)
+    rows = fig["rows"]
+    for r in rows:
+        n, cores, mn, avg, mx, spread = r
+        assert mx > mn >= 0
+        assert spread == mx - mn or abs(spread - (mx - mn)) < 0.2
+    # relative spread grows with scale
+    rel_first = rows[0][4] / max(rows[0][2], 1e-9)
+    rel_last = rows[-1][4] / max(rows[-1][2], 1e-9)
+    assert rel_last > rel_first
+    # absolute per-core volumes scale down
+    assert rows[-1][3] < rows[0][3]

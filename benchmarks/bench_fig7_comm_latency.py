@@ -1,0 +1,38 @@
+"""Figure 7: absolute communication latency with computation skipped.
+
+Paper's claims checked in shape:
+* BSP latency is lower than Async at small scale (aggregation wins when
+  per-pair messages are large);
+* BSP scales sublinearly from 8-512 nodes (per-pair aggregates shrink into
+  the protocol-dominated regime);
+* Async scales with the workload (lookups per rank fall as 1/P) with a
+  degraded segment at 8-16 nodes (deep incoming queues);
+* the curves cross between 32 and 64 nodes.
+"""
+
+from conftest import emit, human_nodes, run_once
+
+from repro.perf.figures import fig7_comm_latency
+
+
+def test_fig7_comm_latency(benchmark, human_nodes):
+    fig = run_once(benchmark, fig7_comm_latency, human_nodes)
+    emit("fig7", fig)
+    rows = {r[0]: r for r in fig["rows"]}
+    nodes = sorted(rows)
+
+    # BSP lower at the smallest scale
+    assert rows[nodes[0]][2] < rows[nodes[0]][3]
+
+    if 512 in rows and 32 in rows and 64 in rows:
+        # async lower at the largest scale; crossover between 32-64 nodes
+        assert rows[512][3] < rows[512][2]
+        assert rows[32][2] <= rows[32][3]
+        assert rows[64][3] <= rows[64][2]
+        # async poor scaling 8->16 (overloaded regime): far from halving
+        assert rows[16][3] > 0.55 * rows[8][3]
+        # ...but clean scaling once out of overload (64 -> 512: ~8x fewer
+        # lookups per rank)
+        assert rows[512][3] < 0.25 * rows[64][3]
+        # BSP sublinear: 64x more nodes buys less than 64x lower latency
+        assert rows[8][2] / rows[512][2] < 63.0

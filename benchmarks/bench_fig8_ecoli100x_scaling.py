@@ -1,0 +1,35 @@
+"""Figure 8: strong-scaling runtime breakdown, E. coli 100x, 1-128 nodes.
+
+Paper's claims checked in shape:
+* BSP exchanges in a single superstep at every scale (workload chosen so);
+* BSP visible communication grows from ~1% (1 node) to >15-25% (128);
+* Async hides most latency (visible <7% of its runtime at 128 nodes);
+* Async is more efficient at scale (paper: up to 12%);
+* ~40-70x speedup at 128 nodes over the single-node run.
+"""
+
+from conftest import emit, ecoli_nodes, run_once
+
+from repro.perf.figures import fig8_ecoli_scaling
+
+
+def test_fig8_ecoli_scaling(benchmark, ecoli_nodes):
+    fig = run_once(benchmark, fig8_ecoli_scaling, ecoli_nodes)
+    emit("fig8", fig)
+    rows = {(r[0], r[1]): r for r in fig["rows"]}
+    nodes = sorted({r[1] for r in fig["rows"]})
+    first, last = nodes[0], nodes[-1]
+
+    # single superstep everywhere
+    assert all(r[8] == 1 for r in fig["rows"] if r[0] == "bsp")
+
+    # BSP comm fraction rises ~1% -> substantial at scale
+    assert rows[("bsp", first)][6] < 2.5
+    assert rows[("bsp", last)][6] > (12.0 if last >= 64 else 4.0)
+    # async hides most latency at scale
+    assert rows[("async", last)][6] < 7.0
+    # async at least as efficient at scale (normalized_to_bsp_% <= 100)
+    assert rows[("async", last)][9] < 100.0
+    # strong scaling speedup at the largest node count
+    speedup = rows[("bsp", first)][3] / rows[("bsp", last)][3] * (first / 1)
+    assert speedup > 25 * (last / 128)

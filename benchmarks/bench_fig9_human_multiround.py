@@ -1,0 +1,31 @@
+"""Figure 9: Human CCS 8-32 nodes — the memory-limited multi-round regime.
+
+Paper's claims checked in shape:
+* per-node memory cannot hold the aggregated exchange: BSP needs multiple
+  communication+computation rounds at 8-32 nodes;
+* BSP's visible communication overhead is substantial (paper: 17-34%);
+* the async code hides its latency and is more efficient (paper: up to
+  20%);
+* synchronization time is practically the same between the codes.
+"""
+
+from conftest import emit, human_nodes, run_once
+
+from repro.perf.figures import fig9_10_human_scaling
+
+
+def test_fig9_human_multiround(benchmark, human_nodes):
+    nodes = tuple(n for n in human_nodes if n <= 32)
+    fig = run_once(benchmark, fig9_10_human_scaling, nodes)
+    emit("fig9", fig)
+    rows = {(r[0], r[1]): r for r in fig["rows"]}
+
+    for n in nodes:
+        bsp, asy = rows[("bsp", n)], rows[("async", n)]
+        assert bsp[8] > 1                 # forced multi-round
+        assert bsp[6] > 10.0              # visible comm substantial
+        assert asy[6] < 7.0               # async hides latency
+        assert asy[9] < 100.0             # async more efficient
+        # sync fractions practically the same (both dominated by the same
+        # compute imbalance)
+        assert abs(bsp[7] - asy[7]) < 6.0

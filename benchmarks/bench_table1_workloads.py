@@ -1,0 +1,23 @@
+"""Table 1: the evaluation workloads (reads and alignment-task counts).
+
+Regenerates the paper's Table 1 rows (exact totals of the statistical
+presets) and appends the reduced sequence-level datasets this repository
+actually synthesizes and runs through the full pipeline offline.
+"""
+
+from conftest import emit, run_once
+
+from repro.perf.figures import table1_workloads
+
+
+def test_table1_workloads(benchmark):
+    fig = run_once(benchmark, table1_workloads)
+    emit("table1", fig)
+    rows = {r[0]: r for r in fig["rows"]}
+    # Table-1-exact totals
+    assert rows["ecoli30x"][2:] == [16_890, 2_270_260]
+    assert rows["ecoli100x"][2:] == [91_394, 24_869_171]
+    assert rows["human_ccs"][2:] == [1_148_839, 87_621_409]
+    # the synthesized reduced datasets produce nonzero pipelines
+    for name in ("ecoli30x_tiny (synthesized)",):
+        assert rows[name][2] > 0 and rows[name][3] > 0

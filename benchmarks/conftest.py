@@ -1,0 +1,59 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Each benchmark regenerates one of the paper's artifacts via
+:mod:`repro.perf.figures`, times the regeneration once with
+pytest-benchmark (``pedantic`` with a single round — these are simulations
+of hour-long HPC campaigns, not microbenchmarks), prints the rows, and
+persists them under ``benchmarks/output/`` for EXPERIMENTS.md.
+
+Workloads are cached inside :mod:`repro.core.api`, so the expensive
+statistical renderings (Human CCS at 32K simulated cores) are built once
+per pytest session and shared by every figure that needs them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.perf.format import render_table
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: Set REPRO_BENCH_FAST=1 to shrink the node sweeps (CI smoke runs).
+FAST = os.environ.get("REPRO_BENCH_FAST", "") == "1"
+
+HUMAN_NODES = (8, 16, 32) if FAST else (8, 16, 32, 64, 128, 256, 512)
+ECOLI_NODES = (1, 4, 16) if FAST else (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def emit(name: str, fig: dict) -> None:
+    """Print a figure's table(s) and persist them to benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    text = render_table(fig["title"], fig["columns"], fig["rows"])
+    if "scaling" in fig:
+        text += "\n\n" + render_table(
+            fig["title"] + " — intranode strong scaling",
+            fig["scaling"]["columns"],
+            fig["scaling"]["rows"],
+        )
+    print("\n" + text)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one full regeneration of a figure."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session")
+def human_nodes():
+    return HUMAN_NODES
+
+
+@pytest.fixture(scope="session")
+def ecoli_nodes():
+    return ECOLI_NODES

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Strong-scaling study: E. coli 100x from 1 to 128 simulated nodes.
+
+Reproduces the experiment behind Figure 8 of the paper: both engines
+process the same fixed task set while the machine grows from 64 to 8,192
+cores; the bulk-synchronous code's visible communication fraction grows
+with scale while the asynchronous code hides its latency behind the
+alignment computation.
+
+Run:  python examples/strong_scaling_study.py  [--nodes 1 4 16 64]
+"""
+
+import argparse
+
+from repro.core import get_workload, scaling_sweep
+from repro.perf.format import render_breakdown_rows, render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, nargs="+",
+                        default=[1, 4, 16, 64, 128])
+    parser.add_argument("--workload", default="ecoli100x",
+                        choices=["ecoli30x", "ecoli100x", "human_ccs"])
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    workload = get_workload(args.workload, seed=args.seed)
+    print(f"strong scaling {args.workload}: {workload.n_reads:,} reads, "
+          f"{workload.n_tasks:,} tasks\n")
+
+    results = scaling_sweep(workload, args.nodes)
+    rows = render_breakdown_rows(results)
+    print(render_table(
+        f"Strong scaling {args.workload} on simulated Cori KNL",
+        ["engine", "nodes", "wall_s", "comm%", "sync%", "align%",
+         "overhead%", "rounds"],
+        rows,
+    ))
+
+    print("\nAsync efficiency vs BSP:")
+    for nodes in args.nodes:
+        bsp = results["bsp"][nodes].wall_time
+        asy = results["async"][nodes].wall_time
+        print(f"  {nodes:4d} nodes: async is {100 * (bsp / asy - 1):+5.1f}% "
+              f"{'faster' if asy < bsp else 'slower'}")
+
+
+if __name__ == "__main__":
+    main()

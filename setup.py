@@ -1,0 +1,9 @@
+"""Setup shim for environments without PEP-660 editable-install support.
+
+All real metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works with older pip/setuptools (no `wheel` package),
+falling back to the legacy ``setup.py develop`` code path.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,108 @@
+"""Full dynamic-programming references: Needleman-Wunsch and Smith-Waterman.
+
+These O(n*m) kernels (paper refs [18], [19]) serve two roles:
+
+* correctness oracles for the X-drop extender (with an unbounded drop
+  threshold the extender must reproduce :func:`extension_score_full`);
+* the naive-baseline arm of the complexity comparison the paper draws in
+  §2 (``O(n^2)`` exact DP vs average-case ``O(n)`` seed-and-extend).
+
+Implementations are numpy row-vectorized: the inner loop is over rows only,
+with each row computed as array operations (including an exact
+prefix-max formulation of the horizontal-gap dependency).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.scoring import DEFAULT_SCORING, ScoringScheme
+
+__all__ = ["needleman_wunsch", "smith_waterman", "extension_score_full"]
+
+
+def _row_update(prev_row: np.ndarray, a_i: int, b: np.ndarray,
+                scoring: ScoringScheme, *, local: bool,
+                first_cell: int) -> np.ndarray:
+    """Compute one DP row given the previous row.
+
+    The horizontal dependency ``row[j] >= row[j-1] + gap`` is resolved
+    exactly without a Python inner loop using the identity
+    ``row[j] = max_k<=j (cand[k] + gap*(j-k))``, computed via a running
+    maximum of ``cand[k] - gap*k`` with ``numpy.maximum.accumulate``.
+    """
+    n = b.size
+    sub = scoring.substitution(np.full(n, a_i, dtype=np.uint8), b)
+    cand = np.empty(n + 1, dtype=np.int64)
+    cand[0] = first_cell
+    # vertical and diagonal moves
+    cand[1:] = np.maximum(prev_row[:-1] + sub, prev_row[1:] + scoring.gap)
+    if local:
+        cand[1:] = np.maximum(cand[1:], 0)
+    # Horizontal-gap closure via prefix max:
+    # row[j] = max_{k<=j} (cand[k] - g*(j-k)) = max_{k<=j}(cand[k] + g*k) - g*j
+    g = -scoring.gap  # positive penalty magnitude
+    j = np.arange(n + 1, dtype=np.int64)
+    row = np.maximum.accumulate(cand + g * j) - g * j
+    if local:
+        row = np.maximum(row, 0)
+    return row
+
+
+def needleman_wunsch(a: np.ndarray, b: np.ndarray,
+                     scoring: ScoringScheme = DEFAULT_SCORING) -> int:
+    """Global alignment score of code arrays ``a`` and ``b``."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    n = b.size
+    row = scoring.gap * np.arange(n + 1, dtype=np.int64)
+    for i in range(a.size):
+        row = _row_update(row, int(a[i]), b, scoring, local=False,
+                          first_cell=scoring.gap * (i + 1))
+    return int(row[-1])
+
+
+def smith_waterman(a: np.ndarray, b: np.ndarray,
+                   scoring: ScoringScheme = DEFAULT_SCORING) -> int:
+    """Best local alignment score between ``a`` and ``b`` (>= 0)."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    row = np.zeros(b.size + 1, dtype=np.int64)
+    best = 0
+    for i in range(a.size):
+        row = _row_update(row, int(a[i]), b, scoring, local=True, first_cell=0)
+        m = int(row.max())
+        if m > best:
+            best = m
+    return best
+
+
+def extension_score_full(a: np.ndarray, b: np.ndarray,
+                         scoring: ScoringScheme = DEFAULT_SCORING
+                         ) -> tuple[int, int, int]:
+    """Unpruned extension score: ``max_{i,j} S(i, j)`` with ``S(0,0)=0``.
+
+    ``S(i,j)`` is the global alignment score of prefixes ``a[:i]``/``b[:j]``.
+    This is exactly what X-drop extension computes when the drop threshold is
+    unbounded, so it is the score oracle for
+    :class:`repro.align.xdrop.XDropExtender`.  Returns ``(score, i, j)`` for
+    one cell attaining the maximum (tie-breaking is scan-order dependent, so
+    only the score is comparable across kernels).
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    n = b.size
+    row = scoring.gap * np.arange(n + 1, dtype=np.int64)
+    best, best_i, best_j = 0, 0, 0  # S(0,0) = 0
+    # scan row 0
+    j0 = int(np.argmax(row))
+    if row[j0] > best:
+        best, best_i, best_j = int(row[j0]), 0, j0
+    for i in range(a.size):
+        row = _row_update(row, int(a[i]), b, scoring, local=False,
+                          first_cell=scoring.gap * (i + 1))
+        m = int(row.max())
+        if m > best:
+            j = int(np.argmax(row))
+            best, best_i, best_j = m, i + 1, j
+    return best, best_i, best_j

@@ -1,0 +1,147 @@
+"""Seed-and-extend pairwise alignment (the per-task kernel).
+
+Treats the shared k-mer as fixed (matching, error-free) between the two
+reads and extends the alignment forward and backward from it with X-drop
+(paper Figure 1).  One seed is extended per candidate pair, as in the
+paper's experiments.
+
+Reverse-orientation candidates are handled by extending against the reverse
+complement of read *b*, with the seed position mapped into the flipped
+coordinate frame; reported extents for *b* are in that oriented frame with
+``reverse=True`` recorded (paper Figure 2: overlaps occur in either relative
+orientation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.scoring import DEFAULT_SCORING, ScoringScheme
+from repro.align.xdrop import XDropExtender
+from repro.errors import AlignmentError
+from repro.genome import alphabet
+
+__all__ = ["Alignment", "SeedExtendAligner"]
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """Result of one seed-and-extend pairwise alignment task.
+
+    Extents are half-open: read a's aligned region is ``[begin_a, end_a)``;
+    read b's is ``[begin_b, end_b)`` *in the oriented frame* (b's forward
+    strand when ``reverse`` is False, b's reverse complement otherwise).
+    """
+
+    read_a: int
+    read_b: int
+    score: int
+    begin_a: int
+    end_a: int
+    begin_b: int
+    end_b: int
+    reverse: bool
+    cells: int
+    terminated_early: bool
+
+    @property
+    def aligned_length_a(self) -> int:
+        return self.end_a - self.begin_a
+
+    @property
+    def aligned_length_b(self) -> int:
+        return self.end_b - self.begin_b
+
+    def overlap_class(self, len_a: int, len_b: int, slack: int = 50) -> str:
+        """Classify the overlap shape (paper Figure 2).
+
+        ``contains`` / ``contained``: one read spans the other;
+        ``dovetail``: proper suffix-prefix overlap; ``internal``: the
+        alignment ends in the middle of both reads (often a false positive
+        or a repeat-induced local match).
+        """
+        a_at_start = self.begin_a <= slack
+        a_at_end = self.end_a >= len_a - slack
+        b_at_start = self.begin_b <= slack
+        b_at_end = self.end_b >= len_b - slack
+        if a_at_start and a_at_end:
+            return "contained"
+        if b_at_start and b_at_end:
+            return "contains"
+        if (a_at_end and b_at_start) or (b_at_end and a_at_start):
+            return "dovetail"
+        return "internal"
+
+
+@dataclass(frozen=True)
+class SeedExtendAligner:
+    """X-drop seed-and-extend aligner over code arrays."""
+
+    x_drop: int = 15
+    scoring: ScoringScheme = DEFAULT_SCORING
+
+    def _extender(self) -> XDropExtender:
+        return XDropExtender(x_drop=self.x_drop, scoring=self.scoring)
+
+    def align(
+        self,
+        codes_a: np.ndarray,
+        codes_b: np.ndarray,
+        pos_a: int,
+        pos_b: int,
+        k: int,
+        reverse: bool = False,
+        read_a: int = -1,
+        read_b: int = -1,
+    ) -> Alignment:
+        """Extend the seed at ``(pos_a, pos_b)`` of length ``k``.
+
+        ``pos_b`` is on b's forward strand; for ``reverse`` candidates it is
+        mapped to the reverse-complement frame before extension.
+        """
+        codes_a = np.asarray(codes_a, dtype=np.uint8)
+        codes_b = np.asarray(codes_b, dtype=np.uint8)
+        la, lb = codes_a.size, codes_b.size
+        if not (0 <= pos_a and pos_a + k <= la):
+            raise AlignmentError(f"seed [{pos_a}, {pos_a + k}) outside read a (len {la})")
+        if not (0 <= pos_b and pos_b + k <= lb):
+            raise AlignmentError(f"seed [{pos_b}, {pos_b + k}) outside read b (len {lb})")
+
+        if reverse:
+            oriented_b = alphabet.reverse_complement(codes_b)
+            pos_b = lb - (pos_b + k)
+        else:
+            oriented_b = codes_b
+
+        extender = self._extender()
+        right = extender.extend(codes_a[pos_a + k:], oriented_b[pos_b + k:])
+        left = extender.extend_left(codes_a[:pos_a], oriented_b[:pos_b])
+
+        score = self.scoring.perfect_score(k) + right.score + left.score
+        return Alignment(
+            read_a=read_a,
+            read_b=read_b,
+            score=score,
+            begin_a=pos_a - left.length_a,
+            end_a=pos_a + k + right.length_a,
+            begin_b=pos_b - left.length_b,
+            end_b=pos_b + k + right.length_b,
+            reverse=reverse,
+            cells=right.cells + left.cells,
+            terminated_early=right.terminated_early or left.terminated_early,
+        )
+
+    def align_candidate(self, reads, candidate) -> Alignment:
+        """Align a :class:`repro.kmer.seeds.Candidate` over a ReadSet."""
+        return self.align(
+            reads.codes(candidate.read_a),
+            reads.codes(candidate.read_b),
+            candidate.pos_a,
+            candidate.pos_b,
+            candidate.k,
+            reverse=candidate.reverse,
+            read_a=int(reads.ids[candidate.read_a]),
+            read_b=int(reads.ids[candidate.read_b]),
+        )

@@ -1,0 +1,176 @@
+"""X-drop alignment extension (Zhang, Schwartz, Wagner, Miller 2000).
+
+The kernel the paper runs per task: starting from a seed, extend the
+alignment over antidiagonals of the DP matrix, pruning any cell whose score
+falls more than ``X`` below the best score seen so far.  On true overlaps the
+live window stays narrow and tracks the overlap (average-case ``O(n)``
+work); on false-positive candidates the score decays immediately and the
+extension terminates early — the paper's "early-termination heuristics
+triggered by false positives", one of the two sources of task-cost
+variability driving load imbalance (§4.2).
+
+The extender is numpy-vectorized per antidiagonal and reports the number of
+DP cells it computed, which feeds the KNL cost model
+(:mod:`repro.align.cost`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.scoring import DEFAULT_SCORING, ScoringScheme
+from repro.errors import AlignmentError
+
+__all__ = ["XDropExtender", "ExtensionResult"]
+
+#: Effectively -infinity for int64 score arithmetic (no overflow when a few
+#: substitution scores are added on top).
+_NEG = np.int64(-(2**40))
+
+
+@dataclass(frozen=True)
+class ExtensionResult:
+    """Outcome of one directional extension.
+
+    Attributes
+    ----------
+    score : best extension score found (>= 0; empty extension scores 0).
+    length_a, length_b : prefix lengths of each sequence consumed by the
+        best-scoring extension.
+    cells : DP cells computed (the kernel's work, for the cost model).
+    antidiagonals : antidiagonals processed before termination.
+    terminated_early : True when the X-drop window died before either
+        sequence was exhausted — the false-positive fast path.
+    """
+
+    score: int
+    length_a: int
+    length_b: int
+    cells: int
+    antidiagonals: int
+    terminated_early: bool
+
+
+def _gather(arr: np.ndarray, arr_lo: int, want_lo: int, count: int) -> np.ndarray:
+    """Values of a diagonal array at indices [want_lo, want_lo+count), NEG-filled."""
+    out = np.full(count, _NEG, dtype=np.int64)
+    src_lo = max(arr_lo, want_lo)
+    src_hi = min(arr_lo + arr.size, want_lo + count)
+    if src_hi > src_lo:
+        out[src_lo - want_lo: src_hi - want_lo] = arr[src_lo - arr_lo: src_hi - arr_lo]
+    return out
+
+
+@dataclass(frozen=True)
+class XDropExtender:
+    """Directional X-drop extension with a given scoring scheme.
+
+    Parameters
+    ----------
+    x_drop : the drop threshold ``X`` >= 0; cells scoring below
+        ``best - X`` are pruned.  Larger X explores more cells (more work,
+        potentially better alignments) — the paper notes X as a runtime
+        parameter affecting task cost (§4.2).
+    scoring : match/mismatch/gap weights.
+    """
+
+    x_drop: int = 15
+    scoring: ScoringScheme = DEFAULT_SCORING
+
+    def __post_init__(self) -> None:
+        if self.x_drop < 0:
+            raise AlignmentError("x_drop must be nonnegative")
+
+    def extend(self, a: np.ndarray, b: np.ndarray) -> ExtensionResult:
+        """Extend rightward from position 0 of ``a`` and ``b``.
+
+        ``a`` and ``b`` are the *suffix* code arrays beyond the seed (or the
+        reversed prefixes, for leftward extension).  Returns the best
+        extension found under X-drop pruning.
+        """
+        a = np.asarray(a, dtype=np.uint8)
+        b = np.asarray(b, dtype=np.uint8)
+        m, n = a.size, b.size
+        if m == 0 or n == 0:
+            # Only pure-gap extensions exist and they score negatively, so
+            # the empty extension (score 0 at the seed boundary) is optimal.
+            return ExtensionResult(0, 0, 0, 0, 0, False)
+
+        scoring = self.scoring
+        gap = np.int64(scoring.gap)
+        x = np.int64(self.x_drop)
+
+        best = np.int64(0)
+        best_i, best_j = 0, 0
+
+        # Diagonal d=0 holds only S(0,0)=0.
+        prev = np.zeros(1, dtype=np.int64)   # diagonal d-1
+        prev_lo = 0
+        prev2 = np.zeros(0, dtype=np.int64)  # diagonal d-2
+        prev2_lo = 0
+
+        # Live window bounds (in i) allowed for the next diagonal.
+        win_lo, win_hi = 0, 1
+        cells = 0
+        d = 0
+        terminated_early = False
+
+        while True:
+            d += 1
+            if d > m + n:
+                break
+            lo = max(win_lo, 0, d - n)
+            hi = min(win_hi, d, m)
+            if lo > hi:
+                terminated_early = True
+                break
+            count = hi - lo + 1
+            i_vals = np.arange(lo, hi + 1, dtype=np.int64)
+            j_vals = d - i_vals
+
+            # Moves: up (i-1, j) and left (i, j-1) live on diagonal d-1 at
+            # indices i-1 and i; diagonal (i-1, j-1) lives on d-2 at i-1.
+            up = _gather(prev, prev_lo, lo - 1, count) + gap
+            left = _gather(prev, prev_lo, lo, count) + gap
+            diag_prev = _gather(prev2, prev2_lo, lo - 1, count)
+
+            ai = a[np.maximum(i_vals - 1, 0)]
+            bj = b[np.maximum(j_vals - 1, 0)]
+            sub = scoring.substitution(ai, bj)
+            diag = diag_prev + sub
+
+            cur = np.maximum(np.maximum(up, left), diag)
+            cells += count
+
+            cmax = np.int64(cur.max())
+            if cmax > best:
+                k = int(np.argmax(cur))
+                best = cmax
+                best_i = int(i_vals[k])
+                best_j = int(j_vals[k])
+
+            live = cur >= best - x
+            if not live.any():
+                terminated_early = d < m + n
+                break
+            live_idx = np.nonzero(live)[0]
+            win_lo = int(i_vals[live_idx[0]])
+            win_hi = int(i_vals[live_idx[-1]]) + 1
+
+            prev2, prev2_lo = prev, prev_lo
+            prev, prev_lo = cur, lo
+
+        return ExtensionResult(
+            score=int(best),
+            length_a=best_i,
+            length_b=best_j,
+            cells=cells,
+            antidiagonals=d - 1 if d else 0,
+            terminated_early=terminated_early,
+        )
+
+    def extend_left(self, a: np.ndarray, b: np.ndarray) -> ExtensionResult:
+        """Extend leftward from the *end* of ``a`` and ``b`` (prefix arrays)."""
+        return self.extend(np.ascontiguousarray(a[::-1]), np.ascontiguousarray(b[::-1]))

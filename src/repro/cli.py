@@ -1,0 +1,140 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``run``      simulate one engine on a workload and print the breakdown
+``compare``  run both engines on identical inputs (the paper's method)
+``sweep``    strong-scaling sweep over node counts
+``datasets`` list the available workload presets
+
+Examples
+--------
+::
+
+    python -m repro datasets
+    python -m repro run --workload ecoli100x --nodes 16 --engine async
+    python -m repro compare --workload human_ccs --nodes 8
+    python -m repro sweep --workload ecoli100x --nodes 1 4 16 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.api import (
+    compare_engines,
+    get_workload,
+    run_alignment,
+    scaling_sweep,
+)
+from repro.engines.base import EngineConfig
+from repro.genome.datasets import DATASETS
+from repro.perf.format import render_breakdown_rows, render_table
+from repro.utils.units import fmt_bytes, fmt_time
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Simulate the paper's BSP/Async many-to-many alignment "
+                    "engines on a modeled Cori KNL.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--workload", default="ecoli100x",
+                       choices=sorted(DATASETS))
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--cores-per-node", type=int, default=64)
+        p.add_argument("--comm-only", action="store_true",
+                       help="skip alignment computation (paper 4.3 mode)")
+
+    p_run = sub.add_parser("run", help="run one engine")
+    common(p_run)
+    p_run.add_argument("--nodes", type=int, default=4)
+    p_run.add_argument("--engine", default="bsp", choices=["bsp", "async"])
+
+    p_cmp = sub.add_parser("compare", help="run both engines side by side")
+    common(p_cmp)
+    p_cmp.add_argument("--nodes", type=int, default=4)
+
+    p_sweep = sub.add_parser("sweep", help="strong-scaling sweep")
+    common(p_sweep)
+    p_sweep.add_argument("--nodes", type=int, nargs="+",
+                         default=[1, 4, 16, 64])
+
+    sub.add_parser("datasets", help="list workload presets")
+    return parser
+
+
+def _config(args) -> EngineConfig:
+    cfg = EngineConfig(seed=args.seed)
+    return cfg.comm_only() if args.comm_only else cfg
+
+
+def _print_result(name: str, res) -> None:
+    f = res.breakdown.fractions()
+    print(f"{name:6s} wall {fmt_time(res.wall_time):>10}  "
+          f"align {100 * f['compute_align']:5.1f}%  "
+          f"overhead {100 * f['compute_overhead']:4.1f}%  "
+          f"comm {100 * f['comm']:5.1f}%  "
+          f"sync {100 * f['sync']:5.1f}%  "
+          f"rounds={res.exchange_rounds}  "
+          f"mem/core {fmt_bytes(res.max_memory_per_rank)}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "datasets":
+        rows = [
+            [name, spec.species,
+             spec.n_reads or "synthesized", spec.n_tasks or "synthesized",
+             "sequence-level" if spec.sequence_level else "statistical"]
+            for name, spec in sorted(DATASETS.items())
+        ]
+        print(render_table("Workload presets",
+                           ["name", "species", "reads", "tasks", "kind"],
+                           rows))
+        return 0
+
+    workload = get_workload(args.workload, seed=args.seed)
+    print(f"{args.workload}: {workload.n_reads:,} reads, "
+          f"{workload.n_tasks:,} tasks")
+
+    if args.command == "run":
+        res = run_alignment(workload, args.nodes, args.engine,
+                            config=_config(args),
+                            cores_per_node=args.cores_per_node)
+        _print_result(args.engine, res)
+        return 0
+
+    if args.command == "compare":
+        results = compare_engines(workload, args.nodes, config=_config(args),
+                                  cores_per_node=args.cores_per_node)
+        for name, res in results.items():
+            _print_result(name, res)
+        bsp, asy = results["bsp"].wall_time, results["async"].wall_time
+        print(f"async is {100 * (bsp / asy - 1):+.1f}% "
+              f"{'faster' if asy < bsp else 'slower'}")
+        return 0
+
+    if args.command == "sweep":
+        results = scaling_sweep(workload, args.nodes, config=_config(args),
+                                cores_per_node=args.cores_per_node)
+        print(render_table(
+            f"Strong scaling {args.workload}",
+            ["engine", "nodes", "wall_s", "comm%", "sync%", "align%",
+             "overhead%", "rounds"],
+            render_breakdown_rows(results),
+        ))
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

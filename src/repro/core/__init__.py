@@ -1,0 +1,19 @@
+"""Public top-level API: build workloads, run engines, compare approaches."""
+
+from repro.core.api import (
+    get_workload,
+    make_machine,
+    run_alignment,
+    compare_engines,
+    scaling_sweep,
+    clear_workload_cache,
+)
+
+__all__ = [
+    "get_workload",
+    "make_machine",
+    "run_alignment",
+    "compare_engines",
+    "scaling_sweep",
+    "clear_workload_cache",
+]

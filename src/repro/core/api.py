@@ -1,0 +1,127 @@
+"""Top-level driver API.
+
+Typical use (see ``examples/quickstart.py``)::
+
+    from repro.core import get_workload, run_alignment
+
+    wl = get_workload("ecoli100x")          # Table-1-exact workload
+    result = run_alignment(wl, nodes=16, approach="async")
+    print(result.breakdown.fractions())
+
+Workloads are cached per ``(name, seed)`` — rendering the 87.6M-task Human
+CCS assignment for a given rank count costs tens of seconds, and every
+figure benchmark reuses the same object.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.engines.async_ import AsyncEngine
+from repro.engines.base import EngineConfig
+from repro.engines.bsp import BSPEngine
+from repro.engines.report import RunResult
+from repro.errors import ConfigurationError
+from repro.genome.datasets import DATASETS, synthesize_dataset
+from repro.machine.config import MachineSpec, cori_knl
+from repro.pipeline.workload import ConcreteWorkload, StatisticalWorkload
+
+__all__ = [
+    "get_workload",
+    "make_machine",
+    "run_alignment",
+    "compare_engines",
+    "scaling_sweep",
+    "clear_workload_cache",
+]
+
+_WORKLOAD_CACHE: dict[tuple[str, int], object] = {}
+
+ENGINES = {"bsp": BSPEngine, "async": AsyncEngine}
+
+
+def clear_workload_cache() -> None:
+    _WORKLOAD_CACHE.clear()
+
+
+def get_workload(name: str, seed: int = 0):
+    """Build (or fetch from cache) a named workload.
+
+    Table-1 presets (``ecoli30x``, ``ecoli100x``, ``human_ccs``) become
+    :class:`StatisticalWorkload`; sequence-level presets (``*_tiny``,
+    ``*_small``) run the real pipeline end-to-end into a
+    :class:`ConcreteWorkload`.
+    """
+    key = (name, seed)
+    cached = _WORKLOAD_CACHE.get(key)
+    if cached is not None:
+        return cached
+    spec = DATASETS.get(name)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        )
+    if spec.sequence_level:
+        run = synthesize_dataset(spec, seed=seed)
+        wl = ConcreteWorkload.from_pipeline(
+            name, run.reads, k=13, bounds=(2, 80), seed=seed
+        )
+    else:
+        wl = StatisticalWorkload(spec, seed=seed)
+    _WORKLOAD_CACHE[key] = wl
+    return wl
+
+
+def make_machine(nodes: int, cores_per_node: int = 64) -> MachineSpec:
+    """A Cori-KNL machine allocation (the paper's platform)."""
+    return cori_knl(nodes, app_cores_per_node=cores_per_node)
+
+
+def run_alignment(
+    workload,
+    nodes: int,
+    approach: str = "bsp",
+    config: EngineConfig | None = None,
+    cores_per_node: int = 64,
+    machine: MachineSpec | None = None,
+) -> RunResult:
+    """Simulate one engine processing a workload on a machine allocation."""
+    engine_cls = ENGINES.get(approach)
+    if engine_cls is None:
+        raise ConfigurationError(
+            f"unknown approach {approach!r}; choose from {sorted(ENGINES)}"
+        )
+    machine = machine or make_machine(nodes, cores_per_node)
+    engine = engine_cls(config=config or EngineConfig())
+    assignment = workload.assignment(machine.total_ranks)
+    return engine.run(assignment, machine)
+
+
+def compare_engines(
+    workload,
+    nodes: int,
+    config: EngineConfig | None = None,
+    cores_per_node: int = 64,
+) -> dict[str, RunResult]:
+    """Run both approaches on identical fixed inputs (the paper's method)."""
+    return {
+        name: run_alignment(workload, nodes, name, config, cores_per_node)
+        for name in ("bsp", "async")
+    }
+
+
+def scaling_sweep(
+    workload,
+    node_counts: Iterable[int],
+    approaches: Iterable[str] = ("bsp", "async"),
+    config: EngineConfig | None = None,
+    cores_per_node: int = 64,
+) -> dict[str, dict[int, RunResult]]:
+    """Strong-scaling sweep: results[approach][nodes] -> RunResult."""
+    out: dict[str, dict[int, RunResult]] = {a: {} for a in approaches}
+    for nodes in node_counts:
+        for approach in approaches:
+            out[approach][nodes] = run_alignment(
+                workload, nodes, approach, config, cores_per_node
+            )
+    return out

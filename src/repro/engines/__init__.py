@@ -1,0 +1,29 @@
+"""The paper's two parallelization approaches, plus their measurement.
+
+* :class:`BSPEngine` — bulk-synchronous: aggregated irregular all-to-all
+  read exchange, dynamically split into memory-limited supersteps (§3.1);
+* :class:`AsyncEngine` — asynchronous: pull-based RPCs with callbacks,
+  communication/computation overlap, bounded outstanding requests, and a
+  split-phase barrier overlapping local-local work (§3.2).
+
+Each engine runs at two granularities (DESIGN.md §6): **macro** — analytic
+per-rank phase models over a :class:`WorkloadAssignment`, used for the
+32K-core figures — and **micro** — real SPMD generator programs over the
+message-level runtime in :mod:`repro.runtime`, used for validation and for
+actually computing alignments on concrete workloads.
+"""
+
+from repro.engines.report import RuntimeBreakdown, RunResult, PhaseTimers
+from repro.engines.base import EngineConfig, ExecutionMode
+from repro.engines.bsp import BSPEngine
+from repro.engines.async_ import AsyncEngine
+
+__all__ = [
+    "RuntimeBreakdown",
+    "RunResult",
+    "PhaseTimers",
+    "EngineConfig",
+    "ExecutionMode",
+    "BSPEngine",
+    "AsyncEngine",
+]

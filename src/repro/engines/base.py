@@ -1,0 +1,102 @@
+"""Shared engine configuration and modes.
+
+``ExecutionMode.COMM_ONLY`` reproduces the paper's §4.3 instrumentation: "a
+mode that executes everything *except* the pairwise alignment computation",
+implemented in **both** codes for communication-focused benchmarking
+(Figure 7).  Data-structure traversal overheads remain in that mode — the
+requests still have to be issued and the buffers walked.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.utils.units import US
+
+__all__ = ["ExecutionMode", "EngineConfig"]
+
+
+class ExecutionMode(enum.Enum):
+    """What the engines execute."""
+
+    #: full application: communication + alignment computation
+    FULL = "full"
+    #: §4.3: everything except the alignment kernel (absolute latency mode)
+    COMM_ONLY = "comm_only"
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunables of the two engines.
+
+    The overhead parameters realize §4.6 / Figure 13: both codes traverse
+    local data structures storing alignment tasks and associated data — the
+    BSP code uses flat arrays (better locality), the async code C++
+    standard-library (pointer-based) containers — so the async code pays
+    more per traversed item, most visibly per *remote read* handled (index
+    lookup, callback dispatch, buffer bookkeeping).
+
+    Parameters
+    ----------
+    mode : full run or communication-only (Figure 7).
+    bsp_task_overhead / async_task_overhead : per-task traversal +
+        kernel-invocation seconds ("Computation (Overhead)").
+    bsp_read_overhead / async_read_overhead : per-remote-read handling
+        seconds (message-buffer walk vs map lookup + callback).  Charged
+        only for *internode* reads — intranode pulls resolve through the
+        shared-memory segment without serialization or callback deferral —
+        so engines scale this by ``1 - 1/nodes``.
+    async_base_overhead : per-rank constant for building the remote-read
+        task index before the pull phase.
+    exchange_memory_fraction : fraction of a rank's free memory budget the
+        BSP engine may devote to exchange receive buffers when sizing its
+        dynamically-sized supersteps (§3.1).
+    async_window : cap on outstanding RPCs per rank (§3.2/§4.3).
+    async_aggregation : number of remote-read pulls coalesced into one RPC
+        (1 = the paper's implementation; >1 implements the aggregation the
+        paper's §5 anticipates for high-latency networks: fewer, larger
+        messages at the cost of per-message latency amortization).
+    multiround_efficiency : exchange-bandwidth factor applied when the BSP
+        engine is forced into multiple memory-limited rounds — small
+        buffers cannot pipeline pack/unpack with transmission (§3.1's
+        memory/bandwidth-utilization coupling).
+    async_min_visible : fraction of pull latency that computation cannot
+        hide even when abundant (callback bunching between polls — the
+        paper's async code still shows a small visible-communication bar at
+        scale, <7% of runtime in Figure 8).
+    noise_fraction : OS-noise dilation mean for non-isolated runs (Fig. 3).
+    seed : RNG seed for the noise model.
+    """
+
+    mode: ExecutionMode = ExecutionMode.FULL
+    bsp_task_overhead: float = 10.0 * US
+    async_task_overhead: float = 13.0 * US
+    bsp_read_overhead: float = 30.0 * US
+    async_read_overhead: float = 120.0 * US
+    async_base_overhead: float = 0.01
+    exchange_memory_fraction: float = 0.40
+    async_window: int = 64
+    async_aggregation: int = 1
+    multiround_efficiency: float = 0.55
+    async_min_visible: float = 0.05
+    noise_fraction: float = 0.015
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.exchange_memory_fraction <= 1:
+            raise ConfigurationError("exchange_memory_fraction must be in (0,1]")
+        if self.async_window < 1:
+            raise ConfigurationError("async_window must be >= 1")
+        if self.async_aggregation < 1:
+            raise ConfigurationError("async_aggregation must be >= 1")
+        if not 0 <= self.async_min_visible <= 1:
+            raise ConfigurationError("async_min_visible must be in [0,1]")
+        if min(self.bsp_task_overhead, self.async_task_overhead,
+               self.bsp_read_overhead, self.async_read_overhead,
+               self.async_base_overhead) < 0:
+            raise ConfigurationError("overheads must be nonnegative")
+
+    def comm_only(self) -> "EngineConfig":
+        return replace(self, mode=ExecutionMode.COMM_ONLY)

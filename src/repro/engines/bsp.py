@@ -1,0 +1,185 @@
+"""The bulk-synchronous (BSP) engine (§3.1).
+
+Reads are exchanged in an irregular all-to-all (``MPI_Alltoall`` +
+``MPI_Alltoallv`` in the original), maximally aggregated; pairwise
+alignments for each received read are computed when the read is taken from
+the message buffer.  When the aggregated exchange does not fit in per-node
+memory, the engine performs **multiple dynamically-sized communication and
+computation rounds** — the paper's refactoring of DiBELLA's third stage, and
+the mechanism behind Figures 9 and 11.
+
+Timeline of one run (macro model, per round ``i`` of ``R``)::
+
+    [ exchange_i (comm) ][ compute_i | wait for slowest (sync) ] ... repeat
+
+The exchange is a blocking collective: every rank experiences the full
+round duration, split into its personal send/recv cost (comm) and waiting
+on more-loaded ranks (sync) — exchange load imbalance (Figure 6) surfaces
+as BSP synchronization/latency.  Compute phases end at the slowest rank
+(task-cost load imbalance, Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engines.base import EngineConfig, ExecutionMode
+from repro.engines.report import PhaseTimers, RunResult, RuntimeBreakdown
+from repro.errors import ConfigurationError
+from repro.machine.config import MachineSpec
+from repro.machine.network import NetworkModel
+from repro.machine.noise import NoiseModel
+from repro.pipeline.workload import WorkloadAssignment
+from repro.utils.rng import RngFactory
+from repro.utils.units import MB
+
+__all__ = ["BSPEngine"]
+
+#: fixed per-rank footprint: program image + MPI runtime + output buffers
+RUNTIME_BASE_MEMORY = 100 * MB
+#: flat-array task record: read ids, positions, flags, cost (BSP layout)
+BSP_TASK_RECORD_BYTES = 40.0
+
+
+@dataclass
+class BSPEngine:
+    """Macro-granularity simulator of the bulk-synchronous implementation."""
+
+    config: EngineConfig = field(default_factory=EngineConfig)
+    name: str = "bsp"
+
+    # -- round sizing (the §3.1 dynamic superstep logic) --------------------
+
+    def exchange_budget(self, machine: MachineSpec,
+                        assignment: WorkloadAssignment) -> float:
+        """Receive-buffer bytes one rank may devote to a single round."""
+        fixed = (
+            RUNTIME_BASE_MEMORY
+            + float(assignment.partition_bytes.max(initial=0.0))
+            + float(assignment.tasks_per_rank.max(initial=0.0))
+            * BSP_TASK_RECORD_BYTES
+        )
+        free = machine.app_memory_per_rank - fixed
+        if free <= 0:
+            raise ConfigurationError(
+                "per-rank memory cannot hold even the input partition; "
+                "use more nodes (the paper needs >= 8 nodes for Human CCS)"
+            )
+        return self.config.exchange_memory_fraction * free
+
+    def num_rounds(self, machine: MachineSpec,
+                   assignment: WorkloadAssignment) -> int:
+        """Rounds needed so every rank's round receive fits its budget."""
+        budget = self.exchange_budget(machine, assignment)
+        max_recv = float(assignment.recv_bytes.max(initial=0.0))
+        return max(1, int(np.ceil(max_recv / budget)))
+
+    # -- simulation ----------------------------------------------------------
+
+    def run(self, assignment: WorkloadAssignment,
+            machine: MachineSpec) -> RunResult:
+        if assignment.num_ranks != machine.total_ranks:
+            raise ConfigurationError(
+                f"assignment is for {assignment.num_ranks} ranks but machine "
+                f"has {machine.total_ranks}"
+            )
+        P = machine.total_ranks
+        net = NetworkModel(machine)
+        noise = NoiseModel(machine, RngFactory(self.config.seed),
+                           noise_fraction=self.config.noise_fraction)
+        timers = PhaseTimers(P)
+
+        rounds = self.num_rounds(machine, assignment)
+        send = assignment.send_bytes
+        recv = assignment.recv_bytes
+        # how many peers a typical rank exchanges nonempty messages with:
+        # bounded by its distinct remote reads and by P-1
+        avg_sources = float(np.minimum(assignment.lookups, P - 1).mean()) if P > 1 else 1.0
+
+        comm_only = self.config.mode is ExecutionMode.COMM_ONLY
+        compute = np.zeros(P) if comm_only else assignment.compute_seconds
+        internode = 1.0 - 1.0 / machine.nodes
+        overhead = (
+            assignment.tasks_per_rank * self.config.bsp_task_overhead
+            + assignment.lookups * self.config.bsp_read_overhead * internode
+        )
+
+        eff_scale = self.config.multiround_efficiency if rounds > 1 else 1.0
+        factors = noise.factors(P)
+        wall = 0.0
+        exchange_total = 0.0
+        for r in range(rounds):
+            # --- exchange phase (blocking collective) ---
+            round_send = send / rounds
+            round_recv = recv / rounds
+            # a rank exchanges with roughly the same peer set every round;
+            # splitting volume across rounds shrinks per-source messages
+            round_sources = avg_sources
+            duration = net.alltoallv_time(
+                round_send.max(initial=0.0),
+                round_recv.max(initial=0.0),
+                round_sources,
+                efficiency_scale=eff_scale,
+            )
+            personal = np.array([
+                net.alltoallv_rank_time(
+                    float(round_send[i]), float(round_recv[i]),
+                    round_sources,
+                    efficiency_scale=eff_scale,
+                )
+                for i in range(P)
+            ])
+            personal = np.minimum(personal, duration)
+            timers.add_array("comm", personal)
+            timers.add_array("sync", duration - personal)
+            wall += duration
+            exchange_total += duration
+
+            # --- compute phase (ends at the slowest rank) ---
+            phase = factors * (compute + overhead) / rounds
+            phase_end = float(phase.max(initial=0.0))
+            align_part = factors * compute / rounds
+            if not comm_only:
+                timers.add_array("compute_align", align_part)
+            timers.add_array(
+                "compute_overhead",
+                phase - (align_part if not comm_only else 0.0),
+            )
+            timers.add_array("sync", phase_end - phase)
+            wall += phase_end
+
+        # final barrier closing the last superstep
+        bar = net.barrier_time()
+        timers.add_array("sync", np.full(P, bar))
+        wall += bar
+
+        breakdown = RuntimeBreakdown(
+            engine=self.name,
+            machine=machine,
+            workload=assignment.name,
+            wall_time=wall,
+            compute_align=timers.get("compute_align"),
+            compute_overhead=timers.get("compute_overhead"),
+            comm=timers.get("comm"),
+            sync=timers.get("sync"),
+        )
+        breakdown.validate()
+
+        memory = (
+            RUNTIME_BASE_MEMORY
+            + assignment.partition_bytes
+            + assignment.tasks_per_rank * BSP_TASK_RECORD_BYTES
+            + (recv + send) / rounds  # receive buffer + send staging
+        )
+        return RunResult(
+            breakdown=breakdown,
+            memory_high_water=memory,
+            exchange_rounds=rounds,
+            details={
+                "exchange_budget": self.exchange_budget(machine, assignment),
+                "avg_sources": avg_sources,
+                "exchange_time_total": exchange_total,
+            },
+        )

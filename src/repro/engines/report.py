@@ -1,0 +1,148 @@
+"""Runtime breakdowns: the paper's measurement vocabulary.
+
+Every run produces per-rank times in four categories, matching the stacked
+bars of Figures 3, 4, 8, 9, 10:
+
+* ``compute_align`` — "Computation (Alignment)": the seed-and-extend kernel;
+* ``compute_overhead`` — "Computation (Overhead)": data structure traversal
+  and kernel invocation overhead (flat arrays vs pointer-based containers,
+  §4.6 / Figure 13);
+* ``comm`` — visible (unhidden) communication latency;
+* ``sync`` — barrier / collective waiting, dominated by load imbalance.
+
+Statistics are min/avg/max/sum reductions across ranks (the paper computes
+them with global reductions excluded from timing, §4); memory footprints are
+per-rank high-water marks (§4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.machine.config import MachineSpec
+from repro.utils.stats import Summary, summarize
+
+__all__ = ["PhaseTimers", "RuntimeBreakdown", "RunResult", "CATEGORIES"]
+
+CATEGORIES = ("compute_align", "compute_overhead", "comm", "sync")
+
+
+class PhaseTimers:
+    """Per-rank accumulators for the four timing categories."""
+
+    def __init__(self, num_ranks: int):
+        self.num_ranks = num_ranks
+        self._t = {c: np.zeros(num_ranks, dtype=np.float64) for c in CATEGORIES}
+
+    def add(self, category: str, rank: int, seconds: float) -> None:
+        if category not in self._t:
+            raise SimulationError(f"unknown timing category {category!r}")
+        if seconds < 0:
+            raise SimulationError(f"negative time for {category!r}: {seconds}")
+        self._t[category][rank] += seconds
+
+    def add_array(self, category: str, seconds: np.ndarray) -> None:
+        if category not in self._t:
+            raise SimulationError(f"unknown timing category {category!r}")
+        arr = np.asarray(seconds, dtype=np.float64)
+        if np.any(arr < -1e-12):
+            raise SimulationError(f"negative time array for {category!r}")
+        self._t[category] += np.maximum(arr, 0.0)
+
+    def get(self, category: str) -> np.ndarray:
+        return self._t[category]
+
+    def per_rank_total(self) -> np.ndarray:
+        return sum(self._t.values())
+
+
+@dataclass(frozen=True)
+class RuntimeBreakdown:
+    """Per-rank category times plus the run's wall-clock duration."""
+
+    engine: str
+    machine: MachineSpec
+    workload: str
+    wall_time: float
+    compute_align: np.ndarray
+    compute_overhead: np.ndarray
+    comm: np.ndarray
+    sync: np.ndarray
+
+    def category(self, name: str) -> np.ndarray:
+        if name not in CATEGORIES:
+            raise SimulationError(f"unknown timing category {name!r}")
+        return getattr(self, name)
+
+    def summary(self, name: str) -> Summary:
+        return summarize(self.category(name))
+
+    @property
+    def per_rank_total(self) -> np.ndarray:
+        return (
+            self.compute_align + self.compute_overhead + self.comm + self.sync
+        )
+
+    def fractions(self) -> dict[str, float]:
+        """Average share of each category in the wall-clock runtime."""
+        if self.wall_time <= 0:
+            return {c: 0.0 for c in CATEGORIES}
+        return {
+            c: float(self.category(c).mean()) / self.wall_time
+            for c in CATEGORIES
+        }
+
+    def visible_comm_fraction(self) -> float:
+        """Fraction of runtime visible as communication (Figure 8's story)."""
+        return self.fractions()["comm"]
+
+    def compute_imbalance(self) -> float:
+        """max/avg of per-rank alignment compute (Figure 5's right axis)."""
+        return self.summary("compute_align").imbalance
+
+    def normalized_to(self, other: "RuntimeBreakdown") -> float:
+        """This run's wall time as a fraction of ``other``'s (Figure 8-10)."""
+        if other.wall_time <= 0:
+            raise SimulationError("cannot normalize to zero runtime")
+        return self.wall_time / other.wall_time
+
+    def validate(self, rtol: float = 1e-6) -> None:
+        """Per-rank categories must tile the wall clock (within tolerance).
+
+        Every rank is always in exactly one state (computing, communicating,
+        or waiting), so category sums must equal the wall time.
+        """
+        totals = self.per_rank_total
+        if not np.allclose(totals, self.wall_time, rtol=rtol, atol=1e-9):
+            worst = float(np.abs(totals - self.wall_time).max())
+            raise SimulationError(
+                f"per-rank breakdown does not tile wall time "
+                f"(max deviation {worst:.3e}s of {self.wall_time:.3e}s)"
+            )
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything one engine run produces."""
+
+    breakdown: RuntimeBreakdown
+    #: per-rank peak memory footprint, bytes (Figure 11)
+    memory_high_water: np.ndarray
+    #: number of BSP communication rounds (1 == single superstep); the
+    #: async engine reports 0
+    exchange_rounds: int = 0
+    #: alignments actually computed (micro runs with the real kernel only)
+    alignments: list | None = None
+    #: extra engine-specific diagnostics
+    details: dict = field(default_factory=dict)
+
+    @property
+    def wall_time(self) -> float:
+        return self.breakdown.wall_time
+
+    @property
+    def max_memory_per_rank(self) -> float:
+        return float(self.memory_high_water.max(initial=0.0))

@@ -1,0 +1,39 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with one clause while still distinguishing subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, workload, or engine was configured inconsistently."""
+
+
+class SequenceError(ReproError):
+    """Invalid sequence data (bad alphabet, empty read, malformed FASTA...)."""
+
+
+class AlignmentError(ReproError):
+    """Alignment kernel misuse (bad seed position, invalid scoring...)."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event simulation reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while simulated processes were still blocked."""
+
+
+class MemoryLimitError(SimulationError):
+    """A simulated allocation exceeded the per-node memory budget."""
+
+
+class PartitionError(ReproError):
+    """Read/task partitioning violated an invariant."""

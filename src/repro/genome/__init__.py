@@ -1,0 +1,38 @@
+"""Genomics substrate: sequences, synthetic long reads, FASTA IO, datasets.
+
+The paper's workloads are real SRA long-read datasets; offline we substitute
+a synthetic genome + long-read sampler with a PacBio-like error model (see
+DESIGN.md §2).  Everything downstream (k-mer analysis, alignment, the two
+parallel engines) consumes the same :class:`ReadSet` interface either way.
+"""
+
+from repro.genome.alphabet import (
+    ALPHABET,
+    A, C, G, T, N,
+    encode,
+    decode,
+    complement_codes,
+    reverse_complement,
+    random_sequence,
+)
+from repro.genome.sequence import Read, ReadSet
+from repro.genome.synth import (
+    GenomeSimulator,
+    ReadLengthModel,
+    ErrorModel,
+    LongReadSequencer,
+    SequencingRun,
+)
+from repro.genome.fasta import write_fasta, read_fasta, write_fastq, read_fastq
+from repro.genome.datasets import DatasetSpec, DATASETS, synthesize_dataset
+
+__all__ = [
+    "ALPHABET", "A", "C", "G", "T", "N",
+    "encode", "decode", "complement_codes", "reverse_complement",
+    "random_sequence",
+    "Read", "ReadSet",
+    "GenomeSimulator", "ReadLengthModel", "ErrorModel", "LongReadSequencer",
+    "SequencingRun",
+    "write_fasta", "read_fasta", "write_fastq", "read_fastq",
+    "DatasetSpec", "DATASETS", "synthesize_dataset",
+]

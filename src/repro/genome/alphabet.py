@@ -1,0 +1,89 @@
+"""The 5-character long-read alphabet and its numpy codec.
+
+Long-read sequencers emit ``{A, C, G, T}`` plus ``N`` for low-confidence base
+calls (paper §2), so all sequence handling uses a 5-letter alphabet.  Reads
+are stored as ``uint8`` code arrays (A=0, C=1, G=2, T=3, N=4): 2-bit packing
+of the ACGT subset is done downstream in the k-mer extractor, where N-coded
+positions are excluded from seeds exactly as real pipelines do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SequenceError
+
+__all__ = [
+    "ALPHABET", "A", "C", "G", "T", "N",
+    "encode", "decode", "complement_codes", "reverse_complement",
+    "random_sequence", "is_valid_codes",
+]
+
+ALPHABET = "ACGTN"
+A, C, G, T, N = range(5)
+
+#: byte value -> code; 255 marks invalid characters.
+_ENCODE_LUT = np.full(256, 255, dtype=np.uint8)
+for _i, _ch in enumerate(ALPHABET):
+    _ENCODE_LUT[ord(_ch)] = _i
+    _ENCODE_LUT[ord(_ch.lower())] = _i
+
+_DECODE_LUT = np.frombuffer(ALPHABET.encode("ascii"), dtype=np.uint8).copy()
+
+#: Watson-Crick complement in code space; N complements to N.
+_COMPLEMENT = np.array([T, G, C, A, N], dtype=np.uint8)
+
+
+def encode(seq: str | bytes) -> np.ndarray:
+    """Encode an ACGTN string (case-insensitive) to a uint8 code array."""
+    if isinstance(seq, str):
+        raw = seq.encode("ascii", errors="strict")
+    else:
+        raw = bytes(seq)
+    codes = _ENCODE_LUT[np.frombuffer(raw, dtype=np.uint8)]
+    if codes.size and codes.max() == 255:
+        bad = chr(raw[int(np.argmax(codes == 255))])
+        raise SequenceError(f"invalid sequence character {bad!r}")
+    return codes
+
+
+def decode(codes: np.ndarray) -> str:
+    """Decode a uint8 code array back to an ACGTN string."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.size and codes.max() >= len(ALPHABET):
+        raise SequenceError("code out of range for ACGTN alphabet")
+    return _DECODE_LUT[codes].tobytes().decode("ascii")
+
+
+def complement_codes(codes: np.ndarray) -> np.ndarray:
+    """Complement each base code (A<->T, C<->G, N->N)."""
+    return _COMPLEMENT[np.asarray(codes, dtype=np.uint8)]
+
+
+def reverse_complement(codes: np.ndarray) -> np.ndarray:
+    """Reverse complement of a code array (the opposite-strand sequence)."""
+    return complement_codes(codes)[::-1].copy()
+
+
+def is_valid_codes(codes: np.ndarray) -> bool:
+    """True if every element is a valid ACGTN code."""
+    codes = np.asarray(codes)
+    return bool(codes.size == 0 or (codes.dtype == np.uint8 and codes.max() < len(ALPHABET)))
+
+
+def random_sequence(length: int, rng: np.random.Generator,
+                    gc_content: float = 0.5) -> np.ndarray:
+    """Draw a random ACGT code array with the given GC fraction.
+
+    Used for synthetic genomes; ``N`` never appears in the reference genome,
+    only in reads via the error model.
+    """
+    if not 0.0 <= gc_content <= 1.0:
+        raise SequenceError(f"gc_content must be in [0,1], got {gc_content}")
+    at = (1.0 - gc_content) / 2.0
+    gc = gc_content / 2.0
+    return rng.choice(
+        np.array([A, C, G, T], dtype=np.uint8),
+        size=length,
+        p=[at, gc, gc, at],
+    ).astype(np.uint8)

@@ -1,0 +1,127 @@
+"""FASTA/FASTQ reading and writing for :class:`ReadSet`.
+
+The paper's codes use scalable parallel file I/O that is explicitly excluded
+from its timing analysis (§4); here plain serial FASTA/FASTQ suffices for
+persisting synthetic datasets and interoperating with external tools.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from repro.errors import SequenceError
+from repro.genome import alphabet
+from repro.genome.sequence import ReadSet
+
+__all__ = ["write_fasta", "read_fasta", "write_fastq", "read_fastq"]
+
+_LINE_WIDTH = 80
+
+
+def _open(path_or_file, mode: str):
+    if isinstance(path_or_file, (str, Path)):
+        return open(path_or_file, mode), True
+    return path_or_file, False
+
+
+def write_fasta(reads: ReadSet, path_or_file) -> None:
+    """Write reads as FASTA; record names default to ``read_<globalid>``."""
+    fh, owned = _open(path_or_file, "w")
+    try:
+        for i in range(len(reads)):
+            name = (
+                reads.names[i]
+                if reads.names and reads.names[i]
+                else f"read_{int(reads.ids[i])}"
+            )
+            fh.write(f">{name}\n")
+            seq = alphabet.decode(reads.codes(i))
+            for j in range(0, len(seq), _LINE_WIDTH):
+                fh.write(seq[j: j + _LINE_WIDTH])
+                fh.write("\n")
+    finally:
+        if owned:
+            fh.close()
+
+
+def read_fasta(path_or_file) -> ReadSet:
+    """Parse a FASTA file into a :class:`ReadSet` (ids are record order)."""
+    fh, owned = _open(path_or_file, "r")
+    try:
+        names: list[str] = []
+        seqs: list[str] = []
+        current: list[str] = []
+        for raw in fh:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if names:
+                    seqs.append("".join(current))
+                names.append(line[1:].split()[0] if len(line) > 1 else "")
+                current = []
+            else:
+                if not names:
+                    raise SequenceError("FASTA sequence data before first header")
+                current.append(line)
+        if names:
+            seqs.append("".join(current))
+        if len(names) != len(seqs):
+            raise SequenceError("malformed FASTA: header/sequence count mismatch")
+        return ReadSet.from_strings(seqs, names=names)
+    finally:
+        if owned:
+            fh.close()
+
+
+def write_fastq(reads: ReadSet, path_or_file, quality_char: str = "I") -> None:
+    """Write reads as FASTQ with a constant placeholder quality string."""
+    fh, owned = _open(path_or_file, "w")
+    try:
+        for i in range(len(reads)):
+            name = (
+                reads.names[i]
+                if reads.names and reads.names[i]
+                else f"read_{int(reads.ids[i])}"
+            )
+            seq = alphabet.decode(reads.codes(i))
+            fh.write(f"@{name}\n{seq}\n+\n{quality_char * len(seq)}\n")
+    finally:
+        if owned:
+            fh.close()
+
+
+def read_fastq(path_or_file) -> ReadSet:
+    """Parse a (4-line-record) FASTQ file; qualities are discarded."""
+    fh, owned = _open(path_or_file, "r")
+    try:
+        names: list[str] = []
+        seqs: list[str] = []
+        while True:
+            header = fh.readline()
+            if not header:
+                break
+            header = header.strip()
+            if not header:
+                continue
+            if not header.startswith("@"):
+                raise SequenceError(f"malformed FASTQ header: {header[:20]!r}")
+            seq = fh.readline().strip()
+            plus = fh.readline()
+            qual = fh.readline()
+            if not qual:
+                raise SequenceError("truncated FASTQ record")
+            if not plus.startswith("+"):
+                raise SequenceError("malformed FASTQ separator line")
+            if len(qual.strip()) != len(seq):
+                raise SequenceError("FASTQ quality length != sequence length")
+            names.append(header[1:].split()[0] if len(header) > 1 else "")
+            seqs.append(seq)
+        return ReadSet.from_strings(seqs, names=names)
+    finally:
+        if owned:
+            fh.close()

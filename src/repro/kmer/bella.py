@@ -1,0 +1,117 @@
+"""The BELLA reliable-k-mer frequency model (Guidi et al., ACDA 2021).
+
+The paper (§4) filters k-mers "according to the BELLA model", which uses the
+dataset's sequencing coverage ``d``, per-base error rate ``e``, and k-mer
+length ``k`` to choose which k-mer multiplicities mark *reliable* seeds:
+
+* A k-mer drawn from one read is error-free with probability
+  ``p = (1 - e)**k``.
+* A unique (single-copy) genomic position is covered by ``d`` reads on
+  average, so the multiplicity of a correct k-mer from that locus is
+  approximately ``Binomial(d, p)``.
+* k-mers seen fewer than 2 times are overwhelmingly sequencing errors
+  (lower bound ``lo = 2``); k-mers seen far more often than the binomial
+  upper tail allows are almost surely genomic repeats, which seed
+  false-positive candidates and blow up the task count (upper bound ``hi``
+  = the smallest m whose binomial survival probability drops below
+  ``tail_prob``).
+
+This module implements that calculation with :mod:`scipy.stats` and exposes
+both the bounds and the retention probability curve for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BellaModel", "reliable_bounds"]
+
+
+@dataclass(frozen=True)
+class BellaModel:
+    """Reliable k-mer bounds for one dataset.
+
+    Parameters
+    ----------
+    coverage : sequencing depth ``d``.
+    error_rate : per-base error probability ``e``.
+    k : k-mer length (17 in the paper).
+    tail_prob : binomial survival probability below which higher
+        multiplicities are attributed to repeats (BELLA uses ~0.001).
+    min_count : lower reliability bound (2 removes singleton error k-mers).
+    """
+
+    coverage: float
+    error_rate: float
+    k: int = 17
+    tail_prob: float = 0.001
+    min_count: int = 2
+
+    def __post_init__(self) -> None:
+        if self.coverage <= 0:
+            raise ConfigurationError("coverage must be positive")
+        if not 0 <= self.error_rate < 1:
+            raise ConfigurationError("error_rate must be in [0,1)")
+        if self.k < 1:
+            raise ConfigurationError("k must be >= 1")
+        if not 0 < self.tail_prob < 1:
+            raise ConfigurationError("tail_prob must be in (0,1)")
+
+    @property
+    def p_correct(self) -> float:
+        """Probability a length-k window of a read is error-free."""
+        return float((1.0 - self.error_rate) ** self.k)
+
+    @property
+    def expected_multiplicity(self) -> float:
+        """Mean multiplicity of a correct single-copy k-mer: ``d * p``."""
+        return self.coverage * self.p_correct
+
+    def upper_bound(self) -> int:
+        """Smallest m with ``P[Binomial(d, p) >= m] < tail_prob``.
+
+        k-mers seen ``> hi`` times are treated as repeats and discarded.
+        """
+        d = max(1, int(round(self.coverage)))
+        p = self.p_correct
+        # sf(m-1) = P[X >= m]; find smallest m where this drops below tail.
+        m = np.arange(0, d + 2)
+        sf = stats.binom.sf(m - 1, d, p)
+        below = np.nonzero(sf < self.tail_prob)[0]
+        if below.size == 0:  # pathological (p ~ 1 and tiny tail_prob)
+            return d
+        hi = int(below[0])
+        return max(hi, self.min_count)
+
+    def bounds(self) -> tuple[int, int]:
+        """``(lo, hi)`` multiplicity band of reliable k-mers."""
+        return self.min_count, self.upper_bound()
+
+    def retention_probability(self, multiplicity: np.ndarray) -> np.ndarray:
+        """Indicator of retention for each multiplicity (vectorized)."""
+        lo, hi = self.bounds()
+        m = np.asarray(multiplicity)
+        return ((m >= lo) & (m <= hi)).astype(float)
+
+    def describe(self) -> dict:
+        lo, hi = self.bounds()
+        return {
+            "coverage": self.coverage,
+            "error_rate": self.error_rate,
+            "k": self.k,
+            "p_correct": self.p_correct,
+            "expected_multiplicity": self.expected_multiplicity,
+            "lo": lo,
+            "hi": hi,
+        }
+
+
+def reliable_bounds(coverage: float, error_rate: float, k: int = 17,
+                    tail_prob: float = 0.001) -> tuple[int, int]:
+    """Convenience wrapper returning the BELLA ``(lo, hi)`` band."""
+    return BellaModel(coverage, error_rate, k, tail_prob).bounds()

@@ -1,0 +1,148 @@
+"""Vectorized k-mer extraction with 2-bit packing.
+
+k-mers over the ACGT subset are packed into ``uint64`` words (2 bits/base,
+so ``k <= 31``; the paper uses k = 17).  Windows containing ``N`` are skipped,
+exactly as real long-read pipelines do.  *Canonical* k-mers — the
+lexicographic minimum of a k-mer and its reverse complement — make seed
+matching strand-insensitive, which is required because a pair of reads can
+overlap in either relative orientation (paper Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SequenceError
+from repro.genome import alphabet
+
+__all__ = ["KmerExtractor", "canonical_kmers", "pack_kmers", "unpack_kmer"]
+
+MAX_K = 31
+
+
+def _check_k(k: int) -> None:
+    if not 1 <= k <= MAX_K:
+        raise SequenceError(f"k must be in [1, {MAX_K}], got {k}")
+
+
+def pack_kmers(codes: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Pack every valid length-``k`` window of ``codes`` into uint64.
+
+    Returns ``(packed, positions)`` where ``positions`` are the window start
+    offsets of the *valid* (N-free) windows, in increasing order.
+    """
+    _check_k(k)
+    codes = np.asarray(codes, dtype=np.uint8)
+    n = codes.size
+    if n < k:
+        return np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64)
+
+    windows = np.lib.stride_tricks.sliding_window_view(codes, k)
+    valid = (windows < 4).all(axis=1)
+    positions = np.nonzero(valid)[0].astype(np.int64)
+    if positions.size == 0:
+        return np.empty(0, dtype=np.uint64), positions
+
+    weights = (np.uint64(4) ** np.arange(k - 1, -1, -1, dtype=np.uint64))
+    packed = (windows[positions].astype(np.uint64) * weights).sum(
+        axis=1, dtype=np.uint64
+    )
+    return packed, positions
+
+
+def revcomp_packed(packed: np.ndarray, k: int) -> np.ndarray:
+    """Reverse complement of packed k-mers, vectorized.
+
+    Complementing a 2-bit base is ``base ^ 3``; reversal swaps base order.
+    Implemented with bit-fiddling on the uint64 words.
+    """
+    _check_k(k)
+    x = np.asarray(packed, dtype=np.uint64)
+    # Complement all bases at once (only the low 2k bits are meaningful).
+    mask = np.uint64((1 << (2 * k)) - 1)
+    x = (~x) & mask
+    # Reverse 2-bit groups within the low 2k bits: classic bit-reversal by
+    # swapping progressively larger chunks, then shift down.
+    m2 = np.uint64(0x3333333333333333)
+    m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    m8 = np.uint64(0x00FF00FF00FF00FF)
+    m16 = np.uint64(0x0000FFFF0000FFFF)
+    x = ((x >> np.uint64(2)) & m2) | ((x & m2) << np.uint64(2))
+    x = ((x >> np.uint64(4)) & m4) | ((x & m4) << np.uint64(4))
+    x = ((x >> np.uint64(8)) & m8) | ((x & m8) << np.uint64(8))
+    x = ((x >> np.uint64(16)) & m16) | ((x & m16) << np.uint64(16))
+    x = (x >> np.uint64(32)) | (x << np.uint64(32))
+    # The reversed word now holds the bases in the top 2k bits of 64.
+    return (x >> np.uint64(64 - 2 * k)).astype(np.uint64)
+
+
+def canonical_kmers(codes: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Canonical (strand-normalized) packed k-mers and their positions."""
+    fwd, positions = pack_kmers(codes, k)
+    if fwd.size == 0:
+        return fwd, positions
+    rc = revcomp_packed(fwd, k)
+    return np.minimum(fwd, rc), positions
+
+
+def unpack_kmer(packed: int, k: int) -> str:
+    """Decode one packed k-mer back to an ACGT string (for debugging)."""
+    _check_k(k)
+    out = []
+    value = int(packed)
+    for _ in range(k):
+        out.append("ACGT"[value & 3])
+        value >>= 2
+    return "".join(reversed(out))
+
+
+@dataclass(frozen=True)
+class KmerExtractor:
+    """Extract canonical k-mers from reads.
+
+    Parameters
+    ----------
+    k : k-mer length (paper uses 17).
+    canonical : normalize over strands (default True).
+    """
+
+    k: int = 17
+    canonical: bool = True
+
+    def __post_init__(self) -> None:
+        _check_k(self.k)
+
+    def extract(self, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """k-mers and start positions for a single read's code array."""
+        if self.canonical:
+            return canonical_kmers(codes, self.k)
+        return pack_kmers(codes, self.k)
+
+    def extract_readset(self, reads) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All k-mers of a :class:`ReadSet`.
+
+        Returns ``(kmers, read_indices, positions)`` — flat parallel arrays
+        across all reads; ``read_indices`` holds *local* read indices.
+        """
+        all_kmers, all_rids, all_pos = [], [], []
+        for i in range(len(reads)):
+            km, pos = self.extract(reads.codes(i))
+            if km.size:
+                all_kmers.append(km)
+                all_pos.append(pos)
+                all_rids.append(np.full(km.size, i, dtype=np.int64))
+        if not all_kmers:
+            empty64 = np.empty(0, dtype=np.uint64)
+            empty = np.empty(0, dtype=np.int64)
+            return empty64, empty, empty
+        return (
+            np.concatenate(all_kmers),
+            np.concatenate(all_rids),
+            np.concatenate(all_pos),
+        )
+
+    def expected_kmers(self, genome_size: int, coverage: float) -> float:
+        """Paper §2: O(genome_size x coverage) k-mers for the whole input."""
+        return float(genome_size) * float(coverage)

@@ -1,0 +1,33 @@
+"""Distributed-machine simulator (the Cori KNL substitute).
+
+A deterministic discrete-event simulator of a Cray-XC40-like machine:
+rank-level simulated processes (generators) advance simulated time through
+compute, communication, and synchronization operations, with a LogGP-style
+network model calibrated to Cori KNL / Aries numbers, per-node memory
+tracking, and an OS-noise model for non-isolated cores (DESIGN.md §2).
+"""
+
+from repro.machine.engine import Engine, Event, Process
+from repro.machine.config import (
+    NodeSpec,
+    NetworkSpec,
+    MachineSpec,
+    cori_knl,
+)
+from repro.machine.network import NetworkModel
+from repro.machine.memory import MemoryTracker, NodeMemory
+from repro.machine.noise import NoiseModel
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Process",
+    "NodeSpec",
+    "NetworkSpec",
+    "MachineSpec",
+    "cori_knl",
+    "NetworkModel",
+    "MemoryTracker",
+    "NodeMemory",
+    "NoiseModel",
+]

@@ -1,0 +1,207 @@
+"""Analytic network timing models over a :class:`MachineSpec`.
+
+Collective and point-to-point costs follow LogGP/Hockney-style formulas
+(DESIGN.md §2): event-per-message simulation at 32K ranks would need O(P^2)
+events per superstep, so communication phases are modeled per rank.
+
+**Irregular all-to-all (BSP path).**  The exchange completes when the most
+loaded rank finishes (blocking-collective semantics — this is where the
+exchange load imbalance of Figure 6 bites), at a bandwidth that depends on
+the *per-source aggregate message size*: multi-MB aggregates stream at the
+NIC/bisection share, while a workload spread thin over many ranks degrades
+to protocol-dominated small messages (``msg_half_size``).  This reproduces
+the paper's observation that BSP latency scales sublinearly at scale
+(Figure 7) while being very efficient when aggregation is effective.
+
+**RPC pulls (Async path).**  Each rank pulls its distinct remote reads with
+bounded outstanding requests, while serving incoming lookups.  Payload moves
+at ``async_bw_efficiency`` of the schedulable bandwidth (unpaced fine-grained
+traffic), plus per-message injection and service gaps, plus a degraded
+regime when a rank's incoming queue is very deep (the 8-16-node hump of
+Figure 7, §4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.config import MachineSpec
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Timing formulas bound to one machine configuration."""
+
+    machine: MachineSpec
+
+    # -- basic shares -------------------------------------------------------
+
+    @property
+    def rank_bw(self) -> float:
+        """NIC bandwidth share of one rank (bytes/s)."""
+        net = self.machine.network
+        return net.injection_bw / self.machine.app_cores_per_node
+
+    @property
+    def bisection_bw(self) -> float:
+        """Machine-wide global bandwidth for all-to-all traffic (bytes/s)."""
+        net = self.machine.network
+        return self.machine.nodes * net.injection_bw * net.bisection_taper
+
+    def schedulable_rank_bw(self) -> float:
+        """Per-rank bandwidth ceiling for well-scheduled bulk traffic.
+
+        The smaller of the NIC share and this rank's share of bisection
+        bandwidth; on a single node, the intranode (memory) share instead.
+        """
+        if self.machine.nodes == 1:
+            return self.machine.node.intranode_bw / self.machine.app_cores_per_node
+        bisection_share = self.bisection_bw / self.machine.total_ranks
+        return min(self.rank_bw, bisection_share)
+
+    def message_size_efficiency(self, avg_msg_bytes: float) -> float:
+        """Bandwidth fraction achieved at a given aggregate message size."""
+        net = self.machine.network
+        if self.machine.nodes == 1:
+            return 1.0
+        m = max(1.0, float(avg_msg_bytes))
+        eff = m / (m + net.msg_half_size) if net.msg_half_size > 0 else 1.0
+        return min(eff, net.alltoallv_peak_efficiency)
+
+    # -- point to point ------------------------------------------------------
+
+    def ptp_time(self, nbytes: float) -> float:
+        """One message of ``nbytes``: latency + serialization."""
+        net = self.machine.network
+        return net.alpha + net.msg_overhead + nbytes / self.rank_bw
+
+    def rpc_round_trip(self, request_bytes: float, response_bytes: float) -> float:
+        """Unloaded RPC: request out, remote lookup, response back."""
+        net = self.machine.network
+        return (
+            2 * net.alpha
+            + 2 * net.msg_overhead
+            + net.rpc_service_gap
+            + (request_bytes + response_bytes) / self.rank_bw
+        )
+
+    # -- collectives ---------------------------------------------------------
+
+    def barrier_time(self) -> float:
+        """Dissemination barrier: ceil(log2(P)) rounds of small messages."""
+        p = self.machine.total_ranks
+        if p <= 1:
+            return 0.0
+        rounds = int(np.ceil(np.log2(p)))
+        return rounds * self.machine.network.barrier_latency
+
+    def allreduce_time(self, nbytes: float = 8.0) -> float:
+        """Small allreduce: reduce + broadcast trees carrying ``nbytes``."""
+        p = self.machine.total_ranks
+        if p <= 1:
+            return 0.0
+        rounds = int(np.ceil(np.log2(p)))
+        per_hop = self.machine.network.barrier_latency + nbytes / self.rank_bw
+        return 2 * rounds * per_hop
+
+    def alltoallv_time(
+        self,
+        max_send_bytes: float,
+        max_recv_bytes: float,
+        avg_sources: float,
+        efficiency_scale: float = 1.0,
+    ) -> float:
+        """Duration of one irregular all-to-all exchange round.
+
+        ``avg_sources`` is the typical number of peers a rank exchanges
+        nonempty messages with; it sets the per-source aggregate size and
+        hence the achieved bandwidth fraction.  ``efficiency_scale`` lets
+        callers model further degradation (e.g. memory-limited multi-round
+        buffering that cannot pipeline pack/unpack with transmission).
+        """
+        p = self.machine.total_ranks
+        net = self.machine.network
+        volume = max(float(max_send_bytes), float(max_recv_bytes))
+        sources = max(1.0, min(float(avg_sources), p - 1.0)) if p > 1 else 1.0
+        eff = self.message_size_efficiency(volume / sources) * efficiency_scale
+        setup = (p - 1) * net.msg_overhead if p > 1 else 0.0
+        return setup + volume / (self.schedulable_rank_bw() * eff) + self.barrier_time()
+
+    def alltoallv_rank_time(
+        self,
+        own_send_bytes: float,
+        own_recv_bytes: float,
+        avg_sources: float,
+        efficiency_scale: float = 1.0,
+    ) -> float:
+        """The *personal* (pre-wait) cost of one rank in the exchange.
+
+        The difference between the collective duration and this value is
+        time spent waiting on more-loaded ranks.
+        """
+        p = self.machine.total_ranks
+        net = self.machine.network
+        volume = max(float(own_send_bytes), float(own_recv_bytes))
+        sources = max(1.0, min(float(avg_sources), p - 1.0)) if p > 1 else 1.0
+        eff = self.message_size_efficiency(volume / sources) * efficiency_scale
+        setup = (p - 1) * net.msg_overhead if p > 1 else 0.0
+        return setup + volume / (self.schedulable_rank_bw() * eff)
+
+    # -- asynchronous RPC batches ---------------------------------------------
+
+    def async_rank_bw(self) -> float:
+        """Payload bandwidth achieved by unscheduled RPC pulls."""
+        return self.schedulable_rank_bw() * self.machine.network.async_bw_efficiency
+
+    def rpc_overload_extra(self, incoming_lookups: float) -> float:
+        """Extra seconds in the degraded deep-queue regime (§4.3).
+
+        Applies only across the network: intranode pulls resolve through
+        shared memory and never hit the NIC attentiveness limits.
+        """
+        if self.machine.nodes == 1:
+            return 0.0
+        net = self.machine.network
+        excess = max(0.0, float(incoming_lookups) - net.rpc_overload_threshold)
+        if excess <= 0:
+            return 0.0
+        return net.rpc_overload_entry + excess * net.rpc_overload_cost
+
+    def rpc_pull_time(
+        self,
+        lookups: float,
+        response_bytes_total: float,
+        incoming_lookups: float,
+        incoming_bytes_total: float,
+    ) -> float:
+        """Time for one rank to pull ``lookups`` remote reads via RPC while
+        serving ``incoming_lookups`` for other ranks.
+
+        With a deep-enough outstanding window the round trip is paid ~once;
+        steady state is the max of (a) CPU-side work — injection gaps plus
+        serial service of incoming lookups — and (b) payload movement both
+        directions at the async bandwidth share; plus the overload penalty.
+        """
+        if lookups <= 0 and incoming_lookups <= 0:
+            return 0.0
+        net = self.machine.network
+        inject = lookups * (net.msg_gap + net.msg_overhead)
+        service = incoming_lookups * (net.rpc_service_gap + net.msg_overhead)
+        # links are full duplex: inbound responses and outbound serves
+        # stream concurrently, so the payload term is the larger direction
+        volume = max(response_bytes_total, incoming_bytes_total) / self.async_rank_bw()
+        ramp = 2 * net.alpha + net.msg_overhead
+        # window-limited throughput: at most `outstanding_limit` requests in
+        # flight, so sustained rate is bounded by window/rtt — this is what
+        # makes aggregation "necessary on a high-latency network" (§5)
+        rtt = 2 * net.alpha + net.msg_overhead + net.rpc_service_gap
+        window_limited = lookups * rtt / net.outstanding_limit
+        return (
+            max(inject + service, volume, window_limited)
+            + ramp
+            + self.rpc_overload_extra(incoming_lookups)
+        )

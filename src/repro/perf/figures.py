@@ -1,0 +1,283 @@
+"""Series builders for every table and figure of the paper's evaluation.
+
+Each ``figN_*`` function regenerates the corresponding artifact's rows —
+same axes, same series — from the simulator (DESIGN.md §4).  Benchmarks in
+``benchmarks/`` call these, time them, and print/persist the output;
+``EXPERIMENTS.md`` records the paper-vs-measured comparison.
+
+Default node sweeps follow the paper: *E. coli* 100x strong-scales 1-128
+nodes; *Human* CCS 8-512 nodes (its pipeline needs >= 8 nodes, §4.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import compare_engines, get_workload, make_machine, run_alignment
+from repro.engines.base import EngineConfig
+from repro.genome.datasets import table1_rows
+from repro.utils.stats import summarize
+from repro.utils.units import GB, MB
+
+__all__ = [
+    "ECOLI_NODES",
+    "HUMAN_NODES",
+    "table1_workloads",
+    "fig3_intranode",
+    "fig4_single_node",
+    "fig5_load_imbalance",
+    "fig6_comm_imbalance",
+    "fig7_comm_latency",
+    "fig8_ecoli_scaling",
+    "fig9_10_human_scaling",
+    "fig11_12_memory",
+    "fig13_datastructure",
+]
+
+ECOLI_NODES = (1, 2, 4, 8, 16, 32, 64, 128)
+HUMAN_NODES = (8, 16, 32, 64, 128, 256, 512)
+
+
+def _breakdown_row(engine: str, nodes: int, cores: int, res) -> list:
+    f = res.breakdown.fractions()
+    return [
+        engine, nodes, cores, round(res.wall_time, 3),
+        round(100 * f["compute_align"], 1),
+        round(100 * f["compute_overhead"], 1),
+        round(100 * f["comm"], 1),
+        round(100 * f["sync"], 1),
+        res.exchange_rounds,
+    ]
+
+
+_BREAKDOWN_COLS = [
+    "engine", "nodes", "cores", "wall_s",
+    "align%", "overhead%", "comm%", "sync%", "rounds",
+]
+
+
+def table1_workloads(seed: int = 0) -> dict:
+    """Table 1: the evaluation workloads (reads, tasks per dataset)."""
+    rows = [
+        [r["short_name"], r["species"], r["reads"], r["tasks"]]
+        for r in table1_rows()
+    ]
+    # the reduced sequence-level equivalents actually synthesized offline
+    for name in ("ecoli30x_tiny", "ecoli100x_tiny", "human_ccs_tiny"):
+        wl = get_workload(name, seed=seed)
+        rows.append([name + " (synthesized)", "synthetic", wl.n_reads, wl.n_tasks])
+    return {
+        "title": "Table 1: workloads used for evaluation",
+        "columns": ["short_name", "species", "reads", "tasks"],
+        "rows": rows,
+    }
+
+
+def fig3_intranode(workload: str = "ecoli30x", seed: int = 0,
+                   scaling_cores: tuple = (1, 2, 4, 8, 16, 32, 64, 68)) -> dict:
+    """Figure 3: single-node BSP vs Async, 64 vs 68 cores, E. coli 30x.
+
+    Includes the intranode strong-scaling sweep behind the figure's text:
+    near-perfect to 32 cores, tapering to ~62x at >= 64 cores.
+    """
+    wl = get_workload(workload, seed=seed)
+    rows = []
+    for cores in (68, 64):
+        for engine, res in compare_engines(wl, 1, cores_per_node=cores).items():
+            rows.append(_breakdown_row(engine, 1, cores, res))
+
+    scaling = []
+    base = None
+    for cores in scaling_cores:
+        res = run_alignment(wl, 1, "bsp", cores_per_node=cores)
+        if base is None:
+            base = res.wall_time
+        scaling.append([cores, round(res.wall_time, 2),
+                        round(base / res.wall_time, 1)])
+    return {
+        "title": "Figure 3: 1-node breakdowns, 64 vs 68 cores (E. coli 30x)",
+        "columns": _BREAKDOWN_COLS,
+        "rows": rows,
+        "scaling": {
+            "columns": ["cores", "wall_s", "speedup_vs_1core"],
+            "rows": scaling,
+        },
+    }
+
+
+def fig4_single_node(seed: int = 0) -> dict:
+    """Figure 4: 1-node breakdowns on E. coli 30x vs 100x (64 cores)."""
+    rows = []
+    for name in ("ecoli30x", "ecoli100x"):
+        wl = get_workload(name, seed=seed)
+        for engine, res in compare_engines(wl, 1).items():
+            row = _breakdown_row(engine, 1, 64, res)
+            rows.append([name] + row)
+    return {
+        "title": "Figure 4: 1-node runtime breakdowns, E. coli 30x vs 100x",
+        "columns": ["workload"] + _BREAKDOWN_COLS,
+        "rows": rows,
+    }
+
+
+def fig5_load_imbalance(nodes=HUMAN_NODES, seed: int = 0) -> dict:
+    """Figure 5: min/avg/max cumulative seed-and-extend time + imbalance."""
+    wl = get_workload("human_ccs", seed=seed)
+    rows = []
+    for n in nodes:
+        res = run_alignment(wl, n, "bsp")
+        s = res.breakdown.summary("compute_align")
+        rows.append([
+            n, n * 64,
+            round(s.min, 2), round(s.avg, 2), round(s.max, 2),
+            round(s.imbalance, 3),
+        ])
+    return {
+        "title": "Figure 5: seed-and-extend time min/avg/max and load "
+                 "imbalance, strong scaling Human CCS",
+        "columns": ["nodes", "cores", "min_s", "avg_s", "max_s",
+                    "imbalance_max_over_avg"],
+        "rows": rows,
+    }
+
+
+def fig6_comm_imbalance(nodes=HUMAN_NODES, seed: int = 0) -> dict:
+    """Figure 6: max - min BSP exchange load (received bytes per core)."""
+    wl = get_workload("human_ccs", seed=seed)
+    rows = []
+    for n in nodes:
+        a = wl.assignment(n * 64)
+        s = summarize(a.recv_bytes)
+        rows.append([
+            n, n * 64,
+            round(s.min / MB, 1), round(s.avg / MB, 1), round(s.max / MB, 1),
+            round(s.spread / MB, 1),
+        ])
+    return {
+        "title": "Figure 6: BSP exchange load imbalance (received MB/core), "
+                 "strong scaling Human CCS",
+        "columns": ["nodes", "cores", "min_MB", "avg_MB", "max_MB",
+                    "max_minus_min_MB"],
+        "rows": rows,
+    }
+
+
+def fig7_comm_latency(nodes=HUMAN_NODES, seed: int = 0) -> dict:
+    """Figure 7: total average communication latency, computation skipped.
+
+    The §4.3 mode: both codes run everything except the alignment kernel.
+    BSP's reported latency is the total exchange (collective) time; the
+    async value is the mean across ranks of their pull time.
+    """
+    wl = get_workload("human_ccs", seed=seed)
+    config = EngineConfig().comm_only()
+    rows = []
+    for n in nodes:
+        bsp = run_alignment(wl, n, "bsp", config=config)
+        asy = run_alignment(wl, n, "async", config=config)
+        bsp_latency = bsp.details["exchange_time_total"]
+        async_latency = float(np.mean(asy.details["raw_comm"]))
+        rows.append([
+            n, n * 64,
+            round(bsp_latency, 3), round(async_latency, 3),
+            "bsp" if bsp_latency < async_latency else "async",
+        ])
+    return {
+        "title": "Figure 7: total average communication latency "
+                 "(computation skipped), Human CCS",
+        "columns": ["nodes", "cores", "bsp_latency_s", "async_latency_s",
+                    "lower"],
+        "rows": rows,
+    }
+
+
+def fig8_ecoli_scaling(nodes=ECOLI_NODES, seed: int = 0) -> dict:
+    """Figure 8: strong-scaling breakdowns, E. coli 100x, 1-128 nodes."""
+    wl = get_workload("ecoli100x", seed=seed)
+    rows = []
+    for n in nodes:
+        results = compare_engines(wl, n)
+        norm = results["bsp"].wall_time
+        for engine in ("bsp", "async"):
+            res = results[engine]
+            row = _breakdown_row(engine, n, n * 64, res)
+            row.append(round(100 * res.wall_time / norm, 1))
+            rows.append(row)
+    return {
+        "title": "Figure 8: runtime breakdown strong scaling E. coli 100x "
+                 "(normalized to BSP)",
+        "columns": _BREAKDOWN_COLS + ["normalized_to_bsp_%"],
+        "rows": rows,
+    }
+
+
+def fig9_10_human_scaling(nodes=HUMAN_NODES, seed: int = 0) -> dict:
+    """Figures 9-10: Human CCS breakdowns, 8-32 (multi-round) and
+    64-512 nodes (single superstep)."""
+    wl = get_workload("human_ccs", seed=seed)
+    rows = []
+    for n in nodes:
+        results = compare_engines(wl, n)
+        norm = results["bsp"].wall_time
+        for engine in ("bsp", "async"):
+            res = results[engine]
+            row = _breakdown_row(engine, n, n * 64, res)
+            row.append(round(100 * res.wall_time / norm, 1))
+            rows.append(row)
+    return {
+        "title": "Figures 9-10: runtime breakdown strong scaling Human CCS "
+                 "(normalized to BSP)",
+        "columns": _BREAKDOWN_COLS + ["normalized_to_bsp_%"],
+        "rows": rows,
+    }
+
+
+def fig11_12_memory(nodes=HUMAN_NODES, seed: int = 0) -> dict:
+    """Figures 11-12: per-core memory footprint and runtime, Human CCS."""
+    wl = get_workload("human_ccs", seed=seed)
+    budget = make_machine(1).app_memory_per_rank
+    rows = []
+    for n in nodes:
+        results = compare_engines(wl, n)
+        a = wl.assignment(n * 64)
+        rows.append([
+            n, n * 64,
+            round(results["bsp"].max_memory_per_rank / MB, 1),
+            round(results["async"].max_memory_per_rank / MB, 1),
+            round(a.single_exchange_estimate() / MB, 1),
+            round(budget / MB, 1),
+            results["bsp"].exchange_rounds,
+            round(results["bsp"].wall_time, 2),
+            round(results["async"].wall_time, 2),
+        ])
+    return {
+        "title": "Figures 11-12: max memory footprint per core (MB) and "
+                 "runtime (s), Human CCS",
+        "columns": ["nodes", "cores", "bsp_MB", "async_MB",
+                    "single_exchange_estimate_MB", "available_MB",
+                    "bsp_rounds", "bsp_wall_s", "async_wall_s"],
+        "rows": rows,
+    }
+
+
+def fig13_datastructure(nodes=HUMAN_NODES, seed: int = 0) -> dict:
+    """Figure 13: local data-structure traversal overhead, Human CCS."""
+    wl = get_workload("human_ccs", seed=seed)
+    rows = []
+    for n in nodes:
+        results = compare_engines(wl, n)
+        bsp_oh = results["bsp"].breakdown.summary("compute_overhead").avg
+        asy_oh = results["async"].breakdown.summary("compute_overhead").avg
+        rows.append([
+            n, n * 64,
+            round(bsp_oh, 3), round(asy_oh, 3),
+            round(100 * bsp_oh / results["bsp"].wall_time, 1),
+            round(100 * asy_oh / results["async"].wall_time, 1),
+        ])
+    return {
+        "title": "Figure 13: data-structure traversal overhead "
+                 "(flat arrays vs pointer-based), Human CCS",
+        "columns": ["nodes", "cores", "bsp_overhead_s", "async_overhead_s",
+                    "bsp_%runtime", "async_%runtime"],
+        "rows": rows,
+    }

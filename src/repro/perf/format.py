@@ -1,0 +1,56 @@
+"""ASCII rendering of figure/table series (what the benchmarks print)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_breakdown_rows"]
+
+
+def render_table(title: str, columns: Sequence[str],
+                 rows: Sequence[Sequence]) -> str:
+    """Render rows as a fixed-width ASCII table with a title rule."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in cells)) if cells else len(str(col))
+        for i, col in enumerate(columns)
+    ]
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * len(widths))]
+    lines.append("  ".join(str(c).rjust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.3g}"
+        return f"{v:.2f}"
+    return str(v)
+
+
+def render_breakdown_rows(results: dict) -> list[list]:
+    """Rows of (engine, nodes, wall, comm%, sync%, align%, oh%, rounds).
+
+    ``results`` is the nested dict produced by
+    :func:`repro.core.api.scaling_sweep`.
+    """
+    rows = []
+    for engine, per_nodes in results.items():
+        for nodes, res in sorted(per_nodes.items()):
+            f = res.breakdown.fractions()
+            rows.append([
+                engine,
+                nodes,
+                res.wall_time,
+                100 * f["comm"],
+                100 * f["sync"],
+                100 * f["compute_align"],
+                100 * f["compute_overhead"],
+                res.exchange_rounds,
+            ])
+    return rows

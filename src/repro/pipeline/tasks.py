@@ -1,0 +1,122 @@
+"""The task table: alignment tasks in structure-of-arrays layout.
+
+A *task* is one pairwise seed-and-extend alignment: two global read ids, the
+seed positions, orientation, and (once known) a cost estimate.  The BSP code
+of the paper stores tasks in flat arrays for locality (§4.6); this container
+is that flat layout, shared by both engines (the Async engine's
+pointer-based-container overhead is *modeled*, §4.6 / Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.kmer.seeds import Candidate
+from repro.utils.arrays import counts_to_offsets
+
+__all__ = ["TaskTable"]
+
+
+@dataclass
+class TaskTable:
+    """Parallel arrays describing all alignment tasks of a workload.
+
+    ``read_a``/``read_b`` are *global* read ids; ``pos_a``/``pos_b`` seed
+    offsets; ``reverse`` orientation flags; ``k`` the (single) seed length.
+    ``owner`` (assigned rank) and ``cost`` (estimated seconds) are filled in
+    by the partitioner / cost model and default to -1 / NaN.
+    """
+
+    read_a: np.ndarray
+    read_b: np.ndarray
+    pos_a: np.ndarray
+    pos_b: np.ndarray
+    reverse: np.ndarray
+    k: int
+    owner: np.ndarray | None = None
+    cost: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.read_a = np.asarray(self.read_a, dtype=np.int64)
+        self.read_b = np.asarray(self.read_b, dtype=np.int64)
+        self.pos_a = np.asarray(self.pos_a, dtype=np.int64)
+        self.pos_b = np.asarray(self.pos_b, dtype=np.int64)
+        self.reverse = np.asarray(self.reverse, dtype=bool)
+        n = self.read_a.size
+        for name in ("read_b", "pos_a", "pos_b", "reverse"):
+            if getattr(self, name).size != n:
+                raise PartitionError(f"task array {name} length mismatch")
+        if self.owner is not None:
+            self.owner = np.asarray(self.owner, dtype=np.int64)
+            if self.owner.size != n:
+                raise PartitionError("owner array length mismatch")
+        if self.cost is not None:
+            self.cost = np.asarray(self.cost, dtype=np.float64)
+            if self.cost.size != n:
+                raise PartitionError("cost array length mismatch")
+
+    def __len__(self) -> int:
+        return int(self.read_a.size)
+
+    @classmethod
+    def from_candidates(cls, candidates: list[Candidate], k: int | None = None) -> "TaskTable":
+        if candidates:
+            kk = candidates[0].k if k is None else k
+        else:
+            kk = 17 if k is None else k
+        return cls(
+            read_a=np.array([c.read_a for c in candidates], dtype=np.int64),
+            read_b=np.array([c.read_b for c in candidates], dtype=np.int64),
+            pos_a=np.array([c.pos_a for c in candidates], dtype=np.int64),
+            pos_b=np.array([c.pos_b for c in candidates], dtype=np.int64),
+            reverse=np.array([c.reverse for c in candidates], dtype=bool),
+            k=kk,
+        )
+
+    def with_owner(self, owner: np.ndarray) -> "TaskTable":
+        return TaskTable(
+            self.read_a, self.read_b, self.pos_a, self.pos_b, self.reverse,
+            self.k, owner=owner, cost=self.cost,
+        )
+
+    def with_cost(self, cost: np.ndarray) -> "TaskTable":
+        return TaskTable(
+            self.read_a, self.read_b, self.pos_a, self.pos_b, self.reverse,
+            self.k, owner=self.owner, cost=cost,
+        )
+
+    def tasks_of_rank(self, rank: int) -> np.ndarray:
+        """Indices of tasks assigned to ``rank``."""
+        if self.owner is None:
+            raise PartitionError("tasks have no owner assignment yet")
+        return np.nonzero(self.owner == rank)[0]
+
+    def remote_read_of(self, task_indices: np.ndarray, owner_of_read, rank: int
+                       ) -> np.ndarray:
+        """Global id of the remotely-owned read of each task (-1 if both local).
+
+        ``owner_of_read`` maps global read ids to owner ranks (callable on
+        arrays).  For tasks with both reads remote the partitioner's
+        invariant is violated and an error is raised.
+        """
+        a = self.read_a[task_indices]
+        b = self.read_b[task_indices]
+        owner_a = owner_of_read(a)
+        owner_b = owner_of_read(b)
+        a_local = owner_a == rank
+        b_local = owner_b == rank
+        if not np.all(a_local | b_local):
+            raise PartitionError("task with both reads remote (invariant broken)")
+        out = np.where(a_local & b_local, -1, np.where(a_local, b, a))
+        return out.astype(np.int64)
+
+    def group_by_owner(self, num_ranks: int) -> tuple[np.ndarray, np.ndarray]:
+        """(sorted task indices, CSR offsets per rank)."""
+        if self.owner is None:
+            raise PartitionError("tasks have no owner assignment yet")
+        order = np.argsort(self.owner, kind="stable")
+        counts = np.bincount(self.owner, minlength=num_ranks)
+        return order, counts_to_offsets(counts)

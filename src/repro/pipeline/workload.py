@@ -1,0 +1,572 @@
+"""Workloads: the fixed inputs of the paper's experiments, in two forms.
+
+A *workload* is (reads, alignment tasks, per-task costs).  For any machine
+size ``P`` it renders a :class:`WorkloadAssignment` — the per-rank arrays
+both engines consume:
+
+* DiBELLA stage-1 read partition (contiguous, byte-balanced);
+* task assignment respecting the ownership invariant, balanced by count;
+* per-rank alignment compute seconds (the variable-cost kernel work);
+* the communication structure: per rank, the *distinct* remote reads it
+  must obtain (each retrieved exactly once, §3.2), their byte volume, and
+  the mirror image — lookups/bytes it must serve to others.  The BSP
+  exchange moves exactly the same deduplicated bytes, just aggregated
+  (§3.1), so ``recv_bytes == lookup_bytes`` and ``send_bytes ==
+  incoming_bytes``.
+
+:class:`ConcreteWorkload` computes all of this exactly from real reads and
+candidate tasks.  :class:`StatisticalWorkload` generates it from calibrated
+distributions with totals matching Table 1 exactly, deterministically from a
+seed — the substitution for the unavailable SRA datasets (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.align.cost import MEAN_TASK_COST, AlignmentCostModel
+from repro.errors import ConfigurationError
+from repro.genome.datasets import DatasetSpec
+from repro.genome.sequence import ReadSet
+from repro.pipeline.partition import (
+    assign_tasks_balanced,
+    owners_from_boundaries,
+    partition_reads_by_size,
+)
+from repro.pipeline.tasks import TaskTable
+from repro.utils.arrays import segment_sums
+from repro.utils.rng import RngFactory
+
+__all__ = ["WorkloadAssignment", "MicroPlan", "ConcreteWorkload", "StatisticalWorkload"]
+
+
+@dataclass(frozen=True)
+class WorkloadAssignment:
+    """Per-rank arrays of one workload rendered onto ``num_ranks`` ranks.
+
+    All arrays have length ``num_ranks``.  Byte quantities are bytes; time
+    quantities are seconds of simulated KNL-core work.
+    """
+
+    name: str
+    num_ranks: int
+    # reads (stage-1 partition)
+    reads_per_rank: np.ndarray
+    partition_bytes: np.ndarray
+    # tasks
+    tasks_per_rank: np.ndarray
+    compute_seconds: np.ndarray
+    local_pair_seconds: np.ndarray
+    # communication structure (deduplicated remote reads)
+    lookups: np.ndarray
+    lookup_bytes: np.ndarray
+    incoming_lookups: np.ndarray
+    incoming_bytes: np.ndarray
+    # totals
+    total_reads: int
+    total_tasks: int
+
+    def __post_init__(self) -> None:
+        for name in (
+            "reads_per_rank", "partition_bytes", "tasks_per_rank",
+            "compute_seconds", "local_pair_seconds", "lookups",
+            "lookup_bytes", "incoming_lookups", "incoming_bytes",
+        ):
+            arr = getattr(self, name)
+            if arr.shape != (self.num_ranks,):
+                raise ConfigurationError(
+                    f"assignment array {name} has shape {arr.shape}, "
+                    f"expected ({self.num_ranks},)"
+                )
+
+    # -- derived quantities used by the engines and figures ----------------
+
+    @property
+    def recv_bytes(self) -> np.ndarray:
+        """BSP exchange: bytes received per rank (== async pull volume)."""
+        return self.lookup_bytes
+
+    @property
+    def send_bytes(self) -> np.ndarray:
+        """BSP exchange: bytes sent per rank (== async serve volume)."""
+        return self.incoming_bytes
+
+    @property
+    def total_exchange_bytes(self) -> float:
+        return float(self.lookup_bytes.sum())
+
+    def single_exchange_estimate(self) -> float:
+        """Figure 11's dashed line: memory to exchange all reads at once.
+
+        "The estimate is calculated from the total exchange load, divided by
+        the number of processors, plus the average input partition sizes."
+        """
+        return (
+            self.total_exchange_bytes / self.num_ranks
+            + float(self.partition_bytes.mean())
+        )
+
+    @property
+    def mean_task_cost(self) -> float:
+        total = self.tasks_per_rank.sum()
+        return float(self.compute_seconds.sum() / total) if total else 0.0
+
+
+def _dedup_remote(
+    assigned: np.ndarray,
+    remote_read: np.ndarray,
+    read_lengths: np.ndarray,
+    boundaries: np.ndarray,
+    num_ranks: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-rank distinct remote reads and the mirrored serve-side load.
+
+    ``remote_read`` is -1 for both-local tasks.  Deduplication is global:
+    one (requester, read) pair counts once — "parallel processors retrieve
+    remote reads no more than once" (§3.2), and the aggregated BSP exchange
+    ships each read at most once per requester (§3.1).
+    """
+    n_reads = read_lengths.size
+    has_remote = remote_read >= 0
+    keys = assigned[has_remote].astype(np.int64) * n_reads + remote_read[has_remote]
+    uniq = np.unique(keys)
+    req_rank = uniq // n_reads
+    read_id = uniq % n_reads
+    lengths = read_lengths[read_id].astype(np.float64)
+
+    lookups = np.bincount(req_rank, minlength=num_ranks).astype(np.float64)
+    lookup_bytes = segment_sums(lengths, req_rank, num_ranks)
+    owner = owners_from_boundaries(read_id, boundaries)
+    incoming = np.bincount(owner, minlength=num_ranks).astype(np.float64)
+    incoming_bytes = segment_sums(lengths, owner, num_ranks)
+    return lookups, lookup_bytes, incoming, incoming_bytes
+
+
+@dataclass(frozen=True)
+class MicroPlan:
+    """Per-task detail of a concrete workload rendered onto P ranks.
+
+    Used by the micro (message-level) engines, which need each task's
+    assignment and remote read rather than per-rank aggregates.
+    """
+
+    num_ranks: int
+    boundaries: np.ndarray        # read partition boundaries (P+1)
+    assigned: np.ndarray          # task -> rank
+    owner_a: np.ndarray           # task -> owner of read a
+    owner_b: np.ndarray           # task -> owner of read b
+    remote_read: np.ndarray       # task -> remote read id (-1 if both local)
+
+    def owner_of_read(self, read_ids: np.ndarray) -> np.ndarray:
+        return owners_from_boundaries(read_ids, self.boundaries)
+
+
+class ConcreteWorkload:
+    """A workload materialized from real reads and a real task table.
+
+    ``task_costs`` are per-task simulated seconds (from the cost model, or
+    measured from the real kernel's cell counts).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        reads: ReadSet,
+        tasks: TaskTable,
+        task_costs: np.ndarray,
+    ):
+        if len(tasks) != np.asarray(task_costs).size:
+            raise ConfigurationError("task_costs length must match task count")
+        self.name = name
+        self.reads = reads
+        self.tasks = tasks
+        self.task_costs = np.asarray(task_costs, dtype=np.float64)
+        self.read_lengths = reads.lengths.astype(np.int64)
+        self._cache: dict[int, WorkloadAssignment] = {}
+        self._plan_cache: dict[int, MicroPlan] = {}
+
+    @property
+    def n_reads(self) -> int:
+        return len(self.reads)
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+    @classmethod
+    def from_pipeline(
+        cls,
+        name: str,
+        reads: ReadSet,
+        k: int = 17,
+        bella_model=None,
+        bounds: tuple[int, int] | None = None,
+        cost_model: AlignmentCostModel | None = None,
+        measure_sample: int = 200,
+        x_drop: int = 15,
+        seed: int = 0,
+    ) -> "ConcreteWorkload":
+        """Run the full seed pipeline on real reads and cost the tasks.
+
+        Candidates come from shared reliable k-mers (BELLA band); per-task
+        costs are estimated from seed geometry with the cost model, then
+        rescaled by running the real X-drop kernel on ``measure_sample``
+        random tasks and matching the measured mean cell count (so the
+        simulated seconds track the actual kernel work on this input).
+        """
+        from repro.align.seedextend import SeedExtendAligner
+        from repro.kmer.seeds import CandidateGenerator
+
+        gen = CandidateGenerator(k=k, model=bella_model, bounds=bounds)
+        candidates = gen.generate(reads)
+        tasks = TaskTable.from_candidates(candidates, k=k)
+        cm = cost_model or AlignmentCostModel(x_drop=x_drop)
+
+        # geometric estimate: the seed caps how far each extension can run
+        la = reads.lengths[tasks.read_a]
+        lb = reads.lengths[tasks.read_b]
+        pos_b_oriented = np.where(
+            tasks.reverse, lb - (tasks.pos_b + k), tasks.pos_b
+        )
+        max_left = np.minimum(tasks.pos_a, pos_b_oriented)
+        max_right = np.minimum(la - tasks.pos_a - k, lb - pos_b_oriented - k)
+        est_overlap = (max_left + max_right + k).astype(np.float64)
+        est_cells = cm.estimate_cells(est_overlap)
+
+        scale = 1.0
+        if measure_sample and len(tasks):
+            rng = np.random.default_rng(seed)
+            aligner = SeedExtendAligner(x_drop=x_drop)
+            idx = rng.choice(
+                len(tasks), size=min(measure_sample, len(tasks)), replace=False
+            )
+            measured = np.array(
+                [
+                    aligner.align_candidate(reads, candidates[int(i)]).cells
+                    for i in idx
+                ],
+                dtype=np.float64,
+            )
+            est_mean = float(est_cells[idx].mean())
+            if est_mean > 0 and measured.mean() > 0:
+                scale = float(measured.mean()) / est_mean
+
+        costs = cm.cells_to_seconds(est_cells * scale)
+        return cls(name, reads, tasks, np.asarray(costs, dtype=np.float64))
+
+    def micro_plan(self, num_ranks: int) -> MicroPlan:
+        """Per-task rendering for the message-level engines (cached)."""
+        cached = self._plan_cache.get(num_ranks)
+        if cached is not None:
+            return cached
+        boundaries = partition_reads_by_size(self.read_lengths, num_ranks)
+        owner_a = owners_from_boundaries(self.tasks.read_a, boundaries)
+        owner_b = owners_from_boundaries(self.tasks.read_b, boundaries)
+        assigned = assign_tasks_balanced(owner_a, owner_b, num_ranks)
+        both_local = owner_a == owner_b
+        a_local = owner_a == assigned
+        remote_read = np.where(
+            both_local, -1, np.where(a_local, self.tasks.read_b, self.tasks.read_a)
+        )
+        plan = MicroPlan(
+            num_ranks=num_ranks,
+            boundaries=boundaries,
+            assigned=assigned,
+            owner_a=owner_a,
+            owner_b=owner_b,
+            remote_read=remote_read.astype(np.int64),
+        )
+        self._plan_cache[num_ranks] = plan
+        return plan
+
+    def assignment(self, num_ranks: int) -> WorkloadAssignment:
+        """Render the per-rank arrays for ``num_ranks`` ranks (cached)."""
+        cached = self._cache.get(num_ranks)
+        if cached is not None:
+            return cached
+
+        plan = self.micro_plan(num_ranks)
+        boundaries = plan.boundaries
+        owner_a, owner_b, assigned = plan.owner_a, plan.owner_b, plan.assigned
+
+        reads_per_rank = np.diff(boundaries).astype(np.float64)
+        partition_bytes = np.array(
+            [
+                self.read_lengths[boundaries[r]: boundaries[r + 1]].sum()
+                for r in range(num_ranks)
+            ],
+            dtype=np.float64,
+        )
+        tasks_per_rank = np.bincount(assigned, minlength=num_ranks).astype(np.float64)
+        compute_seconds = segment_sums(self.task_costs, assigned, num_ranks)
+
+        both_local = owner_a == owner_b
+        local_pair_seconds = segment_sums(
+            self.task_costs[both_local], assigned[both_local], num_ranks
+        )
+
+        lookups, lookup_bytes, incoming, incoming_bytes = _dedup_remote(
+            assigned, plan.remote_read, self.read_lengths, boundaries, num_ranks
+        )
+
+        out = WorkloadAssignment(
+            name=self.name,
+            num_ranks=num_ranks,
+            reads_per_rank=reads_per_rank,
+            partition_bytes=partition_bytes,
+            tasks_per_rank=tasks_per_rank,
+            compute_seconds=compute_seconds,
+            local_pair_seconds=local_pair_seconds,
+            lookups=lookups,
+            lookup_bytes=lookup_bytes,
+            incoming_lookups=incoming,
+            incoming_bytes=incoming_bytes,
+            total_reads=self.n_reads,
+            total_tasks=self.n_tasks,
+        )
+        self._cache[num_ranks] = out
+        return out
+
+
+@dataclass
+class TaskCostDistribution:
+    """Mixture model of per-task alignment cost (DESIGN.md §2).
+
+    With probability ``fp_rate`` the candidate is a false positive and the
+    X-drop extension dies after a handful of antidiagonals (a small constant
+    cost).  Otherwise the pair truly overlaps: the aligned length is a
+    uniform fraction of the shorter read and the kernel sweeps its band
+    along it.  A final ``scale`` calibrates the mixture's mean to the
+    paper's single-core anchors (``MEAN_TASK_COST``).
+    """
+
+    cost_model: AlignmentCostModel
+    fp_rate: float = 0.3
+    min_overlap_frac: float = 0.1
+    scale: float = 1.0
+    #: lognormal sigma of the per-task cost multiplier: beyond overlap-length
+    #: variation, individual extensions vary with error placement, X-drop
+    #: wander, and early-termination depth (§4.2 "cannot be easily
+    #: determined before runtime").
+    task_sigma: float = 1.0
+
+    def sample_seconds(
+        self,
+        len_a: np.ndarray,
+        len_b: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        n = len_a.size
+        fp = rng.random(n) < self.fp_rate
+        frac = rng.uniform(self.min_overlap_frac, 1.0, n)
+        overlap = frac * np.minimum(len_a, len_b)
+        seconds = self.cost_model.task_seconds(overlap, fp)
+        if self.task_sigma > 0:
+            mu = -0.5 * self.task_sigma**2  # mean-one multiplier
+            seconds = seconds * rng.lognormal(mu, self.task_sigma, n)
+        return self.scale * seconds
+
+    def calibrate(self, mean_len: float, sigma: float, target_mean: float,
+                  rng: np.random.Generator, sample: int = 200_000) -> None:
+        """Set ``scale`` so the mixture's mean cost equals ``target_mean``."""
+        mu = np.log(mean_len) - 0.5 * sigma**2
+        la = rng.lognormal(mu, sigma, sample)
+        lb = rng.lognormal(mu, sigma, sample)
+        self.scale = 1.0
+        empirical = float(self.sample_seconds(la, lb, rng).mean())
+        self.scale = target_mean / empirical
+
+
+class StatisticalWorkload:
+    """Table-1-exact workload generated from calibrated distributions.
+
+    Read lengths are materialized once (block-deterministic).  Per machine
+    size ``P``, per-rank task aggregates are drawn from per-``(P, rank)``
+    RNG streams: task counts are balanced exactly (the paper's by-count
+    partitioning), task partners are uniform over reads (SRA read order is
+    unstructured relative to genome position, so the stage-1 partition sees
+    an unstructured interaction graph — the "no inherent locality" property
+    of §1), and costs come from :class:`TaskCostDistribution`.
+
+    Determinism: identical ``(spec, seed, P)`` reproduce bit-identical
+    assignments; totals (reads, tasks, bytes moved) are P-independent.
+    """
+
+    #: reads generated per RNG block (keeps draws P-independent)
+    BLOCK = 1 << 16
+
+    #: Cluster dispersion coefficients.  Task costs and remote-read demand
+    #: are not independent across a rank's tasks: reads from the same genome
+    #: region (repeats, high-error stretches, hubs of the overlap graph)
+    #: cluster on the rank that owns them, so per-rank sums fluctuate like
+    #: sums of T/P *correlated clusters* rather than T/P independent tasks.
+    #: The net effect is a mean-one lognormal per-rank multiplier with
+    #: ``sigma = kappa * sqrt(P / T)`` — shrinking as more tasks average out
+    #: (1 node) and growing toward the strong-scaling limit, which is
+    #: exactly the behaviour of the paper's load imbalance (Figure 5) and
+    #: exchange-load spread (Figure 6).
+    cost_kappa: float = 6.0
+    comm_kappa: float = 8.0
+
+    def __init__(
+        self,
+        spec: DatasetSpec,
+        seed: int = 0,
+        cost_model: AlignmentCostModel | None = None,
+        fp_rate: float = 0.3,
+    ):
+        if spec.n_reads <= 0 or spec.n_tasks <= 0:
+            raise ConfigurationError(
+                f"dataset {spec.name!r} has no statistical totals; "
+                "sequence-level presets must go through the real pipeline"
+            )
+        self.spec = spec
+        self.name = spec.name
+        self.seed = seed
+        # stable (non-salted) name hash so runs reproduce across processes
+        name_key = sum((i + 1) * ord(c) for i, c in enumerate(spec.name)) % (2**31)
+        self.rngs = RngFactory(seed).child(name_key)
+        self.cost_model = cost_model or AlignmentCostModel()
+        self.read_lengths = self._generate_read_lengths()
+        self.cost_dist = TaskCostDistribution(self.cost_model, fp_rate=fp_rate)
+        target = MEAN_TASK_COST.get(spec.name)
+        if target is None:
+            # datasets without a paper anchor: extrapolate from read scale
+            target = float(
+                self.cost_model.task_seconds(0.55 * spec.mean_read_length)
+            )
+        self.cost_dist.calibrate(
+            spec.mean_read_length,
+            spec.length_sigma,
+            target,
+            self.rngs.stream("workload-block", 0xC0DE),
+        )
+        self._cache: dict[int, WorkloadAssignment] = {}
+
+    # -- reads ---------------------------------------------------------------
+
+    def _generate_read_lengths(self) -> np.ndarray:
+        spec = self.spec
+        mu = np.log(spec.mean_read_length) - 0.5 * spec.length_sigma**2
+        n = spec.n_reads
+        out = np.empty(n, dtype=np.int64)
+        lo = max(200, int(spec.mean_read_length / 8))
+        hi = int(spec.mean_read_length * 8)
+        for b0 in range(0, n, self.BLOCK):
+            b1 = min(b0 + self.BLOCK, n)
+            rng = self.rngs.stream("workload-block", 1, b0 // self.BLOCK)
+            lengths = rng.lognormal(mu, spec.length_sigma, b1 - b0)
+            out[b0:b1] = np.clip(lengths, lo, hi).astype(np.int64)
+        return out
+
+    @property
+    def n_reads(self) -> int:
+        return self.spec.n_reads
+
+    @property
+    def n_tasks(self) -> int:
+        return self.spec.n_tasks
+
+    @property
+    def total_read_bytes(self) -> int:
+        return int(self.read_lengths.sum())
+
+    # -- per-P rendering -------------------------------------------------------
+
+    def assignment(self, num_ranks: int) -> WorkloadAssignment:
+        cached = self._cache.get(num_ranks)
+        if cached is not None:
+            return cached
+
+        n_reads = self.n_reads
+        n_tasks = self.n_tasks
+        lengths = self.read_lengths
+        boundaries = partition_reads_by_size(lengths, num_ranks)
+
+        reads_per_rank = np.diff(boundaries).astype(np.float64)
+        prefix = np.concatenate([[0], np.cumsum(lengths)])
+        partition_bytes = np.diff(prefix[boundaries]).astype(np.float64)
+
+        base, extra = divmod(n_tasks, num_ranks)
+        tasks_per_rank = np.full(num_ranks, base, dtype=np.float64)
+        tasks_per_rank[:extra] += 1
+
+        compute_seconds = np.zeros(num_ranks)
+        local_pair_seconds = np.zeros(num_ranks)
+        lookups = np.zeros(num_ranks)
+        lookup_bytes = np.zeros(num_ranks)
+        incoming = np.zeros(num_ranks)
+        incoming_bytes = np.zeros(num_ranks)
+
+        cluster_scale = np.sqrt(num_ranks / n_tasks)
+        cost_sigma = self.cost_kappa * cluster_scale
+        comm_sigma = self.comm_kappa * cluster_scale
+
+        for rank in range(num_ranks):
+            n_r = int(tasks_per_rank[rank])
+            if n_r == 0:
+                continue
+            rng = self.rngs.stream("workload-block", 2, num_ranks, rank)
+            # local read of each task: one of this rank's reads (by byte
+            # weight a longer read seeds more tasks, but uniform-by-read is
+            # an adequate model for cost purposes)
+            lo_r, hi_r = int(boundaries[rank]), int(boundaries[rank + 1])
+            if hi_r > lo_r:
+                local_reads = rng.integers(lo_r, hi_r, n_r)
+            else:
+                local_reads = rng.integers(0, n_reads, n_r)
+            partners = rng.integers(0, n_reads, n_r)
+
+            len_local = lengths[local_reads].astype(np.float64)
+            len_partner = lengths[partners].astype(np.float64)
+            costs = self.cost_dist.sample_seconds(len_local, len_partner, rng)
+            if cost_sigma > 0:
+                costs = costs * float(
+                    rng.lognormal(-0.5 * cost_sigma**2, cost_sigma)
+                )
+            compute_seconds[rank] = costs.sum()
+
+            partner_local = (partners >= lo_r) & (partners < hi_r)
+            local_pair_seconds[rank] = costs[partner_local].sum()
+
+            remote = np.unique(partners[~partner_local])
+            lookups[rank] = remote.size
+            remote_lengths = lengths[remote].astype(np.float64)
+            lookup_bytes[rank] = remote_lengths.sum()
+            owners = owners_from_boundaries(remote, boundaries)
+            # O(n_r) scatter-adds, not O(P) temporaries: at 32K ranks an
+            # O(P)-per-rank accumulation would be quadratic in P
+            np.add.at(incoming, owners, 1.0)
+            np.add.at(incoming_bytes, owners, remote_lengths)
+
+        if comm_sigma > 0 and num_ranks > 1:
+            # per-rank demand clustering (Figure 6's exchange-load spread);
+            # the serve side is rescaled so requester/server totals match
+            rng = self.rngs.stream("workload-block", 3, num_ranks)
+            factor = rng.lognormal(-0.5 * comm_sigma**2, comm_sigma, num_ranks)
+            old_lookups, old_bytes = lookups.sum(), lookup_bytes.sum()
+            lookups *= factor
+            lookup_bytes *= factor
+            if old_lookups > 0:
+                incoming *= lookups.sum() / old_lookups
+                incoming_bytes *= lookup_bytes.sum() / old_bytes
+
+        out = WorkloadAssignment(
+            name=self.name,
+            num_ranks=num_ranks,
+            reads_per_rank=reads_per_rank,
+            partition_bytes=partition_bytes,
+            tasks_per_rank=tasks_per_rank,
+            compute_seconds=compute_seconds,
+            local_pair_seconds=local_pair_seconds,
+            lookups=lookups,
+            lookup_bytes=lookup_bytes,
+            incoming_lookups=incoming,
+            incoming_bytes=incoming_bytes,
+            total_reads=n_reads,
+            total_tasks=n_tasks,
+        )
+        self._cache[num_ranks] = out
+        return out

@@ -1,0 +1,18 @@
+"""Message-level SPMD runtime on the discrete-event engine (micro mode).
+
+This package provides the programming-model primitives the paper's two
+codes are written against — MPI-style collectives (barrier, allreduce,
+irregular alltoallv) and UPC++-style asynchronous RPCs with callbacks,
+windows, and a split-phase barrier — executing real data movement between
+simulated ranks with modeled timing.  The micro engines in
+:mod:`repro.engines.micro` are genuine SPMD generator programs over these
+primitives; they validate the macro models and, with the real kernel,
+actually compute alignments.
+"""
+
+from repro.runtime.queues import SimQueue
+from repro.runtime.collectives import Collectives
+from repro.runtime.rpc import RpcLayer
+from repro.runtime.context import SpmdContext
+
+__all__ = ["SimQueue", "Collectives", "RpcLayer", "SpmdContext"]

@@ -1,0 +1,186 @@
+"""Rendezvous-based collectives for micro (message-level) SPMD programs.
+
+Semantics match the blocking MPI collectives of the paper's BSP code:
+
+* :meth:`Collectives.barrier` — all ranks wait for the last arrival plus
+  the dissemination-tree latency;
+* :meth:`Collectives.allreduce` — barrier-shaped rendezvous carrying a
+  value reduced with a user operator;
+* :meth:`Collectives.alltoallv` — irregular personalized exchange of real
+  payload lists with modeled timing: the collective starts when the last
+  rank arrives and completes for everyone after the modeled exchange
+  duration; each rank's *personal* send/recv cost counts as communication
+  and the remainder (skew + waiting on the slowest) as synchronization —
+  the same accounting the macro BSP engine uses;
+* :meth:`Collectives.split_barrier_enter` / :meth:`split_barrier_wait` —
+  the UPC++ split-phase barrier of the async code (§3.2): enter is
+  non-blocking, wait completes once all ranks have entered.
+
+All generators are driven with ``yield from`` inside rank programs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.runtime.context import SpmdContext
+
+__all__ = ["Collectives"]
+
+
+class _Rendezvous:
+    """One reusable all-ranks meeting point (per tag)."""
+
+    def __init__(self, ctx: SpmdContext, tag: str):
+        self.ctx = ctx
+        self.tag = tag
+        self.reset()
+
+    def reset(self) -> None:
+        self.arrived = 0
+        self.payloads: dict[int, Any] = {}
+        self.event = self.ctx.engine.event(f"rendezvous-{self.tag}")
+
+    def arrive(self, rank: int, payload: Any = None):
+        """Generator: deposit payload, wait for the last arrival.
+
+        Returns ``(wait_seconds, all_payloads, release_event_value)``.
+        """
+        if rank in self.payloads:
+            raise SimulationError(
+                f"rank {rank} entered rendezvous {self.tag!r} twice"
+            )
+        self.payloads[rank] = payload
+        self.arrived += 1
+        arrival_time = self.ctx.engine.now
+        if self.arrived == self.ctx.num_ranks:
+            payloads = self.payloads
+            event = self.event
+            self.reset()
+            event.succeed((self.ctx.engine.now, payloads))
+            _last, payloads = event.value
+            return 0.0, payloads
+        event = self.event
+        yield event
+        t_last, payloads = event.value
+        return t_last - arrival_time, payloads
+
+
+class Collectives:
+    """Collective operations bound to one SPMD context."""
+
+    def __init__(self, ctx: SpmdContext):
+        self.ctx = ctx
+        self._points: dict[str, _Rendezvous] = {}
+        self._split_state: dict[str, Any] = {}
+
+    def _point(self, tag: str) -> _Rendezvous:
+        point = self._points.get(tag)
+        if point is None:
+            point = _Rendezvous(self.ctx, tag)
+            self._points[tag] = point
+        return point
+
+    # -- barrier -------------------------------------------------------------
+
+    def barrier(self, rank: int, tag: str = "barrier"):
+        """Blocking barrier; waiting time is charged as synchronization."""
+        wait, _ = yield from self._point(tag).arrive(rank)
+        # `wait` already elapsed while blocked in the rendezvous: record it
+        # without advancing the clock again, then pay the tree latency
+        self.ctx.timers.add("sync", rank, wait)
+        yield self.ctx.charge("sync", rank, self.ctx.net.barrier_time())
+
+    # -- allreduce -------------------------------------------------------------
+
+    def allreduce(self, rank: int, value: Any,
+                  op: Callable[[Any, Any], Any] = lambda a, b: a + b,
+                  tag: str = "allreduce"):
+        """Reduce ``value`` across ranks; returns the reduction everywhere."""
+        wait, payloads = yield from self._point(tag).arrive(rank, value)
+        self.ctx.timers.add("sync", rank, wait)
+        yield self.ctx.charge("sync", rank, self.ctx.net.allreduce_time())
+        result = None
+        for r in sorted(payloads):
+            result = payloads[r] if result is None else op(result, payloads[r])
+        return result
+
+    # -- split-phase barrier ----------------------------------------------------
+
+    def split_barrier_enter(self, rank: int, tag: str = "split") -> None:
+        """Non-blocking barrier entry (phase 1 of the UPC++ split barrier)."""
+        state = self._split_state.setdefault(
+            tag, {"count": 0, "event": self.ctx.engine.event(f"split-{tag}")}
+        )
+        state["count"] += 1
+        if state["count"] == self.ctx.num_ranks:
+            state["event"].succeed(self.ctx.engine.now)
+
+    def split_barrier_wait(self, rank: int, tag: str = "split"):
+        """Phase 2: wait until every rank has entered; wait time is sync."""
+        state = self._split_state.get(tag)
+        if state is None or state["count"] == 0:
+            raise SimulationError(f"split barrier {tag!r} waited before enter")
+        t0 = self.ctx.engine.now
+        if not state["event"].fired:
+            yield state["event"]
+        self.ctx.timers.add("sync", rank, self.ctx.engine.now - t0)
+        yield self.ctx.charge("sync", rank, self.ctx.net.barrier_time())
+
+    # -- irregular all-to-all -----------------------------------------------------
+
+    def alltoallv(self, rank: int, send: dict[int, list], send_bytes: float,
+                  recv_bytes_hint: float | None = None,
+                  tag: str = "alltoallv",
+                  efficiency_scale: float = 1.0):
+        """Exchange per-destination payload lists; returns received items.
+
+        ``send`` maps destination rank -> list of (item, nbytes) tuples.
+        Returns the flat list of (item, nbytes) this rank received.  The
+        timing model is shared with the macro engine: the collective ends
+        ``alltoallv_time(max_send, max_recv, sources)`` after the last
+        arrival; this rank's personal volume cost is communication, the
+        rest synchronization.
+        """
+        wait, payloads = yield from self._point(tag).arrive(rank, send)
+
+        # gather what everyone sent to whom (identical result on all ranks
+        # because payloads are shared through the rendezvous)
+        recv_items: list = []
+        recv_bytes = 0.0
+        per_rank_send = np.zeros(self.ctx.num_ranks)
+        per_rank_recv = np.zeros(self.ctx.num_ranks)
+        source_counts = np.zeros(self.ctx.num_ranks)
+        for src, mapping in payloads.items():
+            for dst, items in mapping.items():
+                if not items:
+                    continue
+                nbytes = float(sum(b for _, b in items))
+                per_rank_send[src] += nbytes
+                per_rank_recv[dst] += nbytes
+                source_counts[dst] += 1
+                if dst == rank:
+                    recv_items.extend(items)
+                    recv_bytes += nbytes
+
+        avg_sources = max(1.0, float(source_counts.mean()))
+        duration = self.ctx.net.alltoallv_time(
+            per_rank_send.max(initial=0.0),
+            per_rank_recv.max(initial=0.0),
+            avg_sources,
+            efficiency_scale=efficiency_scale,
+        )
+        personal = min(
+            duration,
+            self.ctx.net.alltoallv_rank_time(
+                send_bytes, recv_bytes, avg_sources,
+                efficiency_scale=efficiency_scale,
+            ),
+        )
+        self.ctx.timers.add("sync", rank, wait)  # elapsed in rendezvous
+        yield self.ctx.charge("comm", rank, personal)
+        yield self.ctx.charge("sync", rank, duration - personal)
+        return recv_items

@@ -1,0 +1,41 @@
+"""SPMD execution context shared by all ranks of a micro run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engines.report import PhaseTimers
+from repro.machine.config import MachineSpec
+from repro.machine.engine import Engine
+from repro.machine.memory import MemoryTracker
+from repro.machine.network import NetworkModel
+
+__all__ = ["SpmdContext"]
+
+
+@dataclass
+class SpmdContext:
+    """Everything a simulated rank program needs.
+
+    Rank programs are generators; they charge time to the four breakdown
+    categories through :attr:`timers` *and* advance their simulated clock by
+    yielding the same number of seconds — the context only centralizes the
+    shared machinery (engine, network model, memory tracker).
+    """
+
+    machine: MachineSpec
+    engine: Engine = field(default_factory=Engine)
+
+    def __post_init__(self) -> None:
+        self.net = NetworkModel(self.machine)
+        self.memory = MemoryTracker(self.machine)
+        self.timers = PhaseTimers(self.machine.total_ranks)
+
+    @property
+    def num_ranks(self) -> int:
+        return self.machine.total_ranks
+
+    def charge(self, category: str, rank: int, seconds: float) -> float:
+        """Record ``seconds`` under ``category`` and return it (to yield)."""
+        self.timers.add(category, rank, seconds)
+        return seconds

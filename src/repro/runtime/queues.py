@@ -1,0 +1,47 @@
+"""A single-consumer queue for simulated processes (RPC response inboxes)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.machine.engine import Engine, Event
+
+__all__ = ["SimQueue"]
+
+
+class SimQueue:
+    """FIFO queue connecting event-scheduled producers to one consumer.
+
+    ``put`` may be called from plain callbacks (e.g. RPC response
+    delivery); ``get`` is a generator to be used as ``item = yield from
+    q.get()`` inside a simulated process.  Only one consumer may wait at a
+    time — each rank owns its own inbox.
+    """
+
+    def __init__(self, engine: Engine, name: str = ""):
+        self._engine = engine
+        self._items: deque[Any] = deque()
+        self._waiter: Event | None = None
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        self._items.append(item)
+        if self._waiter is not None:
+            waiter, self._waiter = self._waiter, None
+            waiter.succeed()
+
+    def get(self):
+        """Generator: yields until an item is available, then returns it."""
+        while not self._items:
+            if self._waiter is not None:
+                raise SimulationError(
+                    f"queue {self.name!r} already has a waiting consumer"
+                )
+            self._waiter = self._engine.event(f"queue-{self.name}")
+            yield self._waiter
+        return self._items.popleft()

@@ -1,0 +1,118 @@
+"""Asynchronous RPC layer for micro SPMD programs (the UPC++ substitute).
+
+``call`` issues a pull request from a caller rank to a target rank; the
+response (whatever the registered handler returns, with its modeled byte
+size) is delivered into the caller's inbox :class:`SimQueue`, where the
+rank program consumes it and runs the attached computation — the callback
+pattern of §3.2.
+
+Timing: the request reaches the target after ``alpha``; the target services
+requests serially (``rpc_service_gap`` each, tracked with a busy-until
+clock per rank — modeling the GASNet progress path rather than stealing the
+target generator's time, a simplification documented in DESIGN.md); the
+response reaches the caller after another ``alpha`` plus payload
+serialization at the async bandwidth share.  Deep incoming queues enter the
+degraded regime via :meth:`NetworkModel.rpc_overload_extra` (amortized per
+request), producing the Figure-7 hump in micro runs too.
+
+Callers enforce their outstanding-request window themselves (issue, and
+when the window is full consume one response first) — exactly how the
+paper's implementation bounds in-flight memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.runtime.context import SpmdContext
+from repro.runtime.queues import SimQueue
+
+__all__ = ["RpcLayer", "RpcResponse"]
+
+
+@dataclass(frozen=True)
+class RpcResponse:
+    """What lands in the caller's inbox when an RPC completes."""
+
+    target: int
+    token: Any
+    value: Any
+    nbytes: float
+    issued_at: float
+    completed_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.completed_at - self.issued_at
+
+
+class RpcLayer:
+    """Rank-to-rank asynchronous remote procedure calls."""
+
+    def __init__(self, ctx: SpmdContext):
+        self.ctx = ctx
+        self.inboxes = [
+            SimQueue(ctx.engine, name=f"rpc-inbox-{r}")
+            for r in range(ctx.num_ranks)
+        ]
+        self._handlers: list[Callable | None] = [None] * ctx.num_ranks
+        self._busy_until = np.zeros(ctx.num_ranks)
+        self._served = np.zeros(ctx.num_ranks)
+        self.total_calls = 0
+
+    def register(self, rank: int, handler: Callable[[Any], tuple[Any, float]]) -> None:
+        """Install rank's handler: ``token -> (value, response_bytes)``."""
+        self._handlers[rank] = handler
+
+    def injection_cost(self) -> float:
+        """Caller-side CPU cost of issuing one request (charge as comm)."""
+        net = self.ctx.machine.network
+        return net.msg_gap + net.msg_overhead
+
+    def call(self, caller: int, target: int, token: Any) -> None:
+        """Issue an async request; the response will appear in the caller's
+        inbox.  The caller should separately advance
+        :meth:`injection_cost` seconds (its own injection work)."""
+        if self._handlers[target] is None:
+            raise SimulationError(f"rank {target} has no RPC handler")
+        if caller == target:
+            raise SimulationError("RPC to self; local reads need no pull")
+        self.total_calls += 1
+        net = self.ctx.machine.network
+        engine = self.ctx.engine
+        issued_at = engine.now
+        arrival = engine.now + net.alpha
+
+        # serial service at the target (progress-path clock)
+        start = max(arrival, self._busy_until[target])
+        service = net.rpc_service_gap + net.msg_overhead
+        self._served[target] += 1
+        if self._served[target] > net.rpc_overload_threshold:
+            service += net.rpc_overload_cost
+        self._busy_until[target] = start + service
+
+        value, nbytes = self._handlers[target](token)
+        transfer = nbytes / self.ctx.net.async_rank_bw()
+        done = start + service + net.alpha + transfer
+
+        def deliver(_arg) -> None:
+            self.inboxes[caller].put(
+                RpcResponse(
+                    target=target,
+                    token=token,
+                    value=value,
+                    nbytes=nbytes,
+                    issued_at=issued_at,
+                    completed_at=engine.now,
+                )
+            )
+
+        engine._schedule(done - engine.now, deliver, None)
+
+    def served(self, rank: int) -> int:
+        """Requests this rank has serviced so far."""
+        return int(self._served[rank])

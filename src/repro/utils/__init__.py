@@ -1,0 +1,44 @@
+"""Shared utilities: RNG streams, units, array helpers, summary statistics."""
+
+from repro.utils.rng import RngFactory, spawn_rng
+from repro.utils.units import (
+    KB,
+    MB,
+    GB,
+    KIB,
+    MIB,
+    GIB,
+    US,
+    MS,
+    fmt_bytes,
+    fmt_time,
+)
+from repro.utils.stats import Summary, summarize, load_imbalance
+from repro.utils.arrays import (
+    group_offsets_by_sorted_key,
+    counts_to_offsets,
+    segment_sums,
+    chunked_ranges,
+)
+
+__all__ = [
+    "RngFactory",
+    "spawn_rng",
+    "KB",
+    "MB",
+    "GB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "US",
+    "MS",
+    "fmt_bytes",
+    "fmt_time",
+    "Summary",
+    "summarize",
+    "load_imbalance",
+    "group_offsets_by_sorted_key",
+    "counts_to_offsets",
+    "segment_sums",
+    "chunked_ranges",
+]

@@ -1,0 +1,85 @@
+"""Summary statistics mirroring the paper's global reductions.
+
+The paper computes per-run minimum / maximum / average / sum across parallel
+processors via global reductions (excluded from timed regions), and reports
+*load imbalance* as ``max / avg`` — the factor by which the slowest processor
+exceeds the mean.  :class:`Summary` is the library-wide container for those
+four reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "load_imbalance"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """min/avg/max/sum reduction over one per-processor quantity."""
+
+    min: float
+    avg: float
+    max: float
+    sum: float
+    count: int
+
+    @property
+    def imbalance(self) -> float:
+        """Load imbalance factor ``max / avg`` (1.0 = perfectly balanced)."""
+        return self.max / self.avg if self.avg > 0 else 1.0
+
+    @property
+    def spread(self) -> float:
+        """Absolute spread ``max - min`` (Figure 6 plots this for bytes)."""
+        return self.max - self.min
+
+    def scaled(self, factor: float) -> "Summary":
+        """Return a copy with every statistic multiplied by ``factor``."""
+        return Summary(
+            min=self.min * factor,
+            avg=self.avg * factor,
+            max=self.max * factor,
+            sum=self.sum * factor,
+            count=self.count,
+        )
+
+    def __add__(self, other: "Summary") -> "Summary":
+        """Element-wise combination for *aligned* per-rank quantities.
+
+        Valid only when both summaries reduce the same processor set and the
+        extrema coincide on the same ranks (e.g. phases accumulated on the
+        critical path); used for coarse roll-ups, not exact reductions.
+        """
+        if not isinstance(other, Summary):
+            return NotImplemented
+        if self.count != other.count:
+            raise ValueError("cannot combine summaries over different rank counts")
+        return Summary(
+            min=self.min + other.min,
+            avg=self.avg + other.avg,
+            max=self.max + other.max,
+            sum=self.sum + other.sum,
+            count=self.count,
+        )
+
+
+def summarize(values: np.ndarray | list[float]) -> Summary:
+    """Reduce a per-processor vector to a :class:`Summary`."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return Summary(min=0.0, avg=0.0, max=0.0, sum=0.0, count=0)
+    return Summary(
+        min=float(arr.min()),
+        avg=float(arr.mean()),
+        max=float(arr.max()),
+        sum=float(arr.sum()),
+        count=int(arr.size),
+    )
+
+
+def load_imbalance(values: np.ndarray | list[float]) -> float:
+    """``max/avg`` load-imbalance factor of a per-processor vector."""
+    return summarize(values).imbalance

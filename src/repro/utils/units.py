@@ -1,0 +1,59 @@
+"""Byte/time unit constants and human-readable formatting.
+
+The library stores sizes in bytes (floats allowed for model estimates) and
+times in seconds, matching the paper's presentation (MB per core, seconds of
+runtime, microsecond network latencies).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB", "MB", "GB", "TB",
+    "KIB", "MIB", "GIB",
+    "US", "MS", "MINUTE", "HOUR",
+    "fmt_bytes", "fmt_time",
+]
+
+# Decimal byte units (used for network bandwidth, e.g. GB/s).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+# Binary byte units (used for memory capacities, e.g. 96 GiB nodes).
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+# Time units, in seconds.
+US = 1e-6
+MS = 1e-3
+MINUTE = 60.0
+HOUR = 3600.0
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a binary suffix, e.g. ``fmt_bytes(3<<20)``."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for unit, suffix in ((GIB, "GiB"), (MIB, "MiB"), (KIB, "KiB")):
+        if n >= unit:
+            return f"{sign}{n / unit:.2f} {suffix}"
+    return f"{sign}{n:.0f} B"
+
+
+def fmt_time(t: float) -> str:
+    """Format a duration in seconds at a scale-appropriate unit."""
+    t = float(t)
+    sign = "-" if t < 0 else ""
+    t = abs(t)
+    if t >= HOUR:
+        return f"{sign}{t / HOUR:.2f} h"
+    if t >= MINUTE:
+        return f"{sign}{t / MINUTE:.2f} min"
+    if t >= 1.0:
+        return f"{sign}{t:.2f} s"
+    if t >= MS:
+        return f"{sign}{t / MS:.2f} ms"
+    return f"{sign}{t / US:.2f} us"

@@ -1,0 +1,125 @@
+"""Tests for the full-DP reference kernels (NW / SW / extension score)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.dp import extension_score_full, needleman_wunsch, smith_waterman
+from repro.align.scoring import ScoringScheme
+from repro.genome import alphabet
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=40)
+
+
+def nw_reference(a, b, scoring):
+    """Textbook O(nm) Needleman-Wunsch with explicit loops (oracle)."""
+    m, n = len(a), len(b)
+    S = np.zeros((m + 1, n + 1), dtype=np.int64)
+    S[:, 0] = scoring.gap * np.arange(m + 1)
+    S[0, :] = scoring.gap * np.arange(n + 1)
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            sub = scoring.match if (a[i - 1] == b[j - 1] and a[i - 1] < 4) else scoring.mismatch
+            S[i, j] = max(
+                S[i - 1, j - 1] + sub,
+                S[i - 1, j] + scoring.gap,
+                S[i, j - 1] + scoring.gap,
+            )
+    return S
+
+
+def test_nw_identical():
+    a = alphabet.encode("ACGTACGT")
+    assert needleman_wunsch(a, a) == 8
+
+
+def test_nw_single_substitution():
+    a = alphabet.encode("ACGTACGT")
+    b = alphabet.encode("ACGTTCGT")
+    assert needleman_wunsch(a, b) == 5  # 7 matches - one -2 mismatch
+
+
+def test_nw_empty():
+    a = alphabet.encode("ACG")
+    e = alphabet.encode("")
+    assert needleman_wunsch(a, e) == -6  # three -2 gaps
+    assert needleman_wunsch(e, e) == 0
+
+
+def test_n_never_matches():
+    a = alphabet.encode("NNN")
+    assert needleman_wunsch(a, a) == -6  # three -2 mismatches
+
+
+@settings(max_examples=60, deadline=None)
+@given(dna, dna)
+def test_nw_matches_loop_reference(sa, sb):
+    scoring = ScoringScheme()
+    a, b = alphabet.encode(sa), alphabet.encode(sb)
+    assert needleman_wunsch(a, b) == int(nw_reference(a, b, scoring)[-1, -1])
+
+
+@settings(max_examples=60, deadline=None)
+@given(dna, dna)
+def test_sw_matches_loop_reference(sa, sb):
+    scoring = ScoringScheme()
+    a, b = alphabet.encode(sa), alphabet.encode(sb)
+    m, n = len(a), len(b)
+    S = np.zeros((m + 1, n + 1), dtype=np.int64)
+    best = 0
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            sub = scoring.match if (sa[i - 1] == sb[j - 1]) else scoring.mismatch
+            S[i, j] = max(
+                0,
+                S[i - 1, j - 1] + sub,
+                S[i - 1, j] + scoring.gap,
+                S[i, j - 1] + scoring.gap,
+            )
+            best = max(best, S[i, j])
+    assert smith_waterman(a, b) == best
+
+
+def test_sw_nonnegative_and_substring():
+    a = alphabet.encode("TTTTACGTACGTTTTT")
+    b = alphabet.encode("ACGTACGT")
+    assert smith_waterman(a, b) == 8
+    assert smith_waterman(alphabet.encode("AAAA"), alphabet.encode("TTTT")) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(dna, dna)
+def test_extension_score_matches_prefix_max(sa, sb):
+    scoring = ScoringScheme()
+    a, b = alphabet.encode(sa), alphabet.encode(sb)
+    S = nw_reference(a, b, scoring)
+    score, bi, bj = extension_score_full(a, b)
+    assert score == int(S.max())
+    assert score == int(S[bi, bj])
+
+
+def test_extension_score_nonnegative():
+    # S(0,0) = 0 is always available
+    score, i, j = extension_score_full(
+        alphabet.encode("AAAA"), alphabet.encode("TTTT")
+    )
+    assert score == 0 and (i, j) == (0, 0)
+
+
+def test_scoring_validation():
+    from repro.errors import AlignmentError
+
+    with pytest.raises(AlignmentError):
+        ScoringScheme(match=0)
+    with pytest.raises(AlignmentError):
+        ScoringScheme(mismatch=1)
+    with pytest.raises(AlignmentError):
+        ScoringScheme(gap=0)
+
+
+def test_scoring_substitution_vector():
+    s = ScoringScheme(match=2, mismatch=-3, gap=-1)
+    a = alphabet.encode("ACGN")
+    b = alphabet.encode("AGGN")
+    assert s.substitution(a, b).tolist() == [2, -3, 2, -3]
+    assert s.perfect_score(5) == 10

@@ -1,0 +1,132 @@
+"""Tests for the X-drop extension kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.dp import extension_score_full
+from repro.align.scoring import ScoringScheme
+from repro.align.xdrop import XDropExtender
+from repro.errors import AlignmentError
+from repro.genome import alphabet
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=40)
+
+
+def test_perfect_match_extension():
+    a = alphabet.encode("ACGTACGTAC")
+    res = XDropExtender(x_drop=5).extend(a, a.copy())
+    assert res.score == 10
+    assert res.length_a == 10 and res.length_b == 10
+    assert not res.terminated_early
+
+
+def test_empty_inputs():
+    e = alphabet.encode("")
+    res = XDropExtender().extend(e, e)
+    assert res.score == 0 and res.cells == 0
+
+
+def test_mismatch_tail_is_dropped():
+    a = alphabet.encode("ACGTACGT" + "A" * 20)
+    b = alphabet.encode("ACGTACGT" + "T" * 20)
+    res = XDropExtender(x_drop=4).extend(a, b)
+    assert res.score == 8
+    assert res.length_a == 8 and res.length_b == 8
+    assert res.terminated_early
+
+
+def test_false_positive_terminates_fast():
+    rng = np.random.default_rng(0)
+    a = alphabet.random_sequence(2000, rng)
+    b = alphabet.random_sequence(2000, rng)
+    res = XDropExtender(x_drop=10).extend(a, b)
+    assert res.terminated_early
+    # early termination must keep the work tiny relative to full DP
+    assert res.cells < 0.01 * 2000 * 2000
+
+
+def test_cells_grow_with_x():
+    rng = np.random.default_rng(1)
+    a = alphabet.random_sequence(500, rng)
+    b = a.copy()
+    # sprinkle ~10% errors on b
+    pos = rng.choice(500, 50, replace=False)
+    b[pos] = (b[pos] + 1) % 4
+    small = XDropExtender(x_drop=5).extend(a, b)
+    large = XDropExtender(x_drop=50).extend(a, b)
+    assert large.cells > small.cells
+    assert large.score >= small.score
+
+
+@settings(max_examples=50, deadline=None)
+@given(dna, dna)
+def test_unbounded_x_matches_full_dp(sa, sb):
+    a, b = alphabet.encode(sa), alphabet.encode(sb)
+    res = XDropExtender(x_drop=10_000).extend(a, b)
+    full_score, _, _ = extension_score_full(a, b)
+    assert res.score == full_score
+    assert not res.terminated_early
+
+
+@settings(max_examples=50, deadline=None)
+@given(dna, dna, st.integers(min_value=0, max_value=30))
+def test_xdrop_score_is_lower_bound_of_full(sa, sb, x):
+    a, b = alphabet.encode(sa), alphabet.encode(sb)
+    res = XDropExtender(x_drop=x).extend(a, b)
+    full_score, _, _ = extension_score_full(a, b)
+    assert 0 <= res.score <= full_score
+
+
+@settings(max_examples=30, deadline=None)
+@given(dna, dna)
+def test_extension_lengths_within_inputs(sa, sb):
+    a, b = alphabet.encode(sa), alphabet.encode(sb)
+    res = XDropExtender(x_drop=7).extend(a, b)
+    assert 0 <= res.length_a <= a.size
+    assert 0 <= res.length_b <= b.size
+
+
+def test_extension_score_is_achievable():
+    # the reported (length_a, length_b) must reproduce the score via full DP
+    rng = np.random.default_rng(2)
+    a = alphabet.random_sequence(100, rng)
+    b = a.copy()
+    b[10] = (b[10] + 1) % 4
+    res = XDropExtender(x_drop=20).extend(a, b)
+    from repro.align.dp import needleman_wunsch
+
+    prefix_score = needleman_wunsch(a[: res.length_a], b[: res.length_b])
+    assert prefix_score == res.score
+
+
+def test_extend_left_mirrors_extend():
+    a = alphabet.encode("TTTTACGT")
+    b = alphabet.encode("GGACGT")
+    left = XDropExtender(x_drop=3).extend_left(a, b)
+    right = XDropExtender(x_drop=3).extend(
+        alphabet.encode("TGCA"[::-1]) if False else a[::-1].copy(), b[::-1].copy()
+    )
+    assert left.score == right.score
+    assert (left.length_a, left.length_b) == (right.length_a, right.length_b)
+
+
+def test_gap_handling():
+    # b has one deletion relative to a; x large enough to bridge it
+    a = alphabet.encode("ACGTACGTAC")
+    b = alphabet.encode("ACGTCGTAC")  # 'A' at index 4 deleted
+    res = XDropExtender(x_drop=10).extend(a, b)
+    # 9 matches - one -2 gap = 7
+    assert res.score == 7
+    assert res.length_a == 10 and res.length_b == 9
+
+
+def test_negative_x_rejected():
+    with pytest.raises(AlignmentError):
+        XDropExtender(x_drop=-1)
+
+
+def test_antidiagonal_count_bounded():
+    a = alphabet.encode("ACGT" * 10)
+    res = XDropExtender(x_drop=1000).extend(a, a.copy())
+    assert res.antidiagonals <= 2 * a.size

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_datasets_command(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "ecoli30x" in out and "human_ccs" in out
+    assert "statistical" in out and "sequence-level" in out
+
+
+def test_run_command(capsys):
+    rc = main(["run", "--workload", "micro", "--nodes", "1",
+               "--engine", "async", "--cores-per-node", "8"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "async" in out and "wall" in out
+
+
+def test_compare_command(capsys):
+    rc = main(["compare", "--workload", "micro", "--nodes", "2",
+               "--cores-per-node", "8"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "bsp" in out and "async is" in out
+
+
+def test_sweep_command(capsys):
+    rc = main(["sweep", "--workload", "micro", "--nodes", "1", "2",
+               "--cores-per-node", "8"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Strong scaling" in out
+
+
+def test_comm_only_flag(capsys):
+    rc = main(["run", "--workload", "micro", "--nodes", "2",
+               "--cores-per-node", "8", "--comm-only"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "align   0.0%" in out
+
+
+def test_parser_rejects_unknown():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--engine", "mpi"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["bogus"])

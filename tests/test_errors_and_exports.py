@@ -1,0 +1,42 @@
+"""Sanity tests: exception hierarchy and public package exports."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+def test_exception_hierarchy():
+    for exc in (errors.ConfigurationError, errors.SequenceError,
+                errors.AlignmentError, errors.SimulationError,
+                errors.PartitionError):
+        assert issubclass(exc, errors.ReproError)
+    assert issubclass(errors.DeadlockError, errors.SimulationError)
+    assert issubclass(errors.MemoryLimitError, errors.SimulationError)
+
+
+def test_catching_family():
+    with pytest.raises(errors.ReproError):
+        raise errors.DeadlockError("x")
+
+
+@pytest.mark.parametrize("module,names", [
+    ("repro.genome", ["ReadSet", "LongReadSequencer", "DATASETS"]),
+    ("repro.kmer", ["KmerExtractor", "BellaModel", "CandidateGenerator"]),
+    ("repro.align", ["XDropExtender", "SeedExtendAligner",
+                     "AlignmentCostModel"]),
+    ("repro.machine", ["Engine", "MachineSpec", "cori_knl", "NetworkModel"]),
+    ("repro.runtime", ["Collectives", "RpcLayer", "SpmdContext"]),
+    ("repro.pipeline", ["TaskTable", "ConcreteWorkload",
+                        "StatisticalWorkload"]),
+    ("repro.engines", ["BSPEngine", "AsyncEngine", "EngineConfig"]),
+    ("repro.core", ["get_workload", "run_alignment", "compare_engines"]),
+    ("repro.perf", ["fig8_ecoli_scaling", "render_table"]),
+])
+def test_public_exports(module, names):
+    import importlib
+
+    mod = importlib.import_module(module)
+    for name in names:
+        assert hasattr(mod, name), f"{module} missing {name}"
+        assert name in mod.__all__

@@ -1,0 +1,62 @@
+"""Tests for the 5-letter alphabet codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SequenceError
+from repro.genome import alphabet
+
+dna = st.text(alphabet="ACGTN", max_size=200)
+
+
+def test_encode_decode_roundtrip_simple():
+    s = "ACGTNACGT"
+    assert alphabet.decode(alphabet.encode(s)) == s
+
+
+def test_encode_lowercase():
+    assert alphabet.decode(alphabet.encode("acgtn")) == "ACGTN"
+
+
+def test_encode_invalid_char():
+    with pytest.raises(SequenceError):
+        alphabet.encode("ACGX")
+
+
+def test_decode_invalid_code():
+    with pytest.raises(SequenceError):
+        alphabet.decode(np.array([9], dtype=np.uint8))
+
+
+@given(dna)
+def test_roundtrip_property(s):
+    assert alphabet.decode(alphabet.encode(s)) == s
+
+
+@given(dna)
+def test_reverse_complement_involution(s):
+    codes = alphabet.encode(s)
+    rc = alphabet.reverse_complement(codes)
+    assert np.array_equal(alphabet.reverse_complement(rc), codes)
+
+
+def test_complement_pairs():
+    codes = alphabet.encode("ACGTN")
+    comp = alphabet.complement_codes(codes)
+    assert alphabet.decode(comp) == "TGCAN"
+
+
+def test_random_sequence_gc_content():
+    rng = np.random.default_rng(0)
+    seq = alphabet.random_sequence(200_000, rng, gc_content=0.7)
+    gc = np.isin(seq, [alphabet.C, alphabet.G]).mean()
+    assert gc == pytest.approx(0.7, abs=0.01)
+    assert alphabet.is_valid_codes(seq)
+    assert not np.any(seq == alphabet.N)
+
+
+def test_random_sequence_bad_gc():
+    rng = np.random.default_rng(0)
+    with pytest.raises(SequenceError):
+        alphabet.random_sequence(10, rng, gc_content=1.5)

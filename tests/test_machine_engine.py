@@ -1,0 +1,179 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.machine.engine import Engine
+
+
+def test_single_process_advances_time():
+    eng = Engine()
+    log = []
+
+    def proc():
+        yield 1.5
+        log.append(eng.now)
+        yield 2.5
+        log.append(eng.now)
+
+    eng.process(proc())
+    assert eng.run() == pytest.approx(4.0)
+    assert log == [pytest.approx(1.5), pytest.approx(4.0)]
+
+
+def test_process_return_value():
+    eng = Engine()
+
+    def child():
+        yield 1.0
+        return 42
+
+    def parent():
+        result = yield eng.process(child(), name="child")
+        assert result == 42
+        return result * 2
+
+    p = eng.process(parent(), name="parent")
+    eng.run()
+    assert p.result == 84
+
+
+def test_event_wait_and_value():
+    eng = Engine()
+    ev = eng.event("data")
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append((eng.now, value))
+
+    def firer():
+        yield 3.0
+        ev.succeed("hello")
+
+    eng.process(waiter())
+    eng.process(firer())
+    eng.run()
+    assert got == [(pytest.approx(3.0), "hello")]
+
+
+def test_wait_on_already_fired_event():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed(7)
+
+    def waiter():
+        v = yield ev
+        return v
+
+    p = eng.process(waiter())
+    eng.run()
+    assert p.result == 7
+
+
+def test_event_fires_once():
+    eng = Engine()
+    ev = eng.event("x")
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_event_value_before_fire_raises():
+    eng = Engine()
+    ev = eng.event("y")
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_timeout():
+    eng = Engine()
+
+    def proc():
+        v = yield eng.timeout(5.0, "late")
+        assert v == "late"
+
+    eng.process(proc())
+    assert eng.run() == pytest.approx(5.0)
+
+
+def test_deterministic_ordering_at_same_time():
+    eng = Engine()
+    order = []
+
+    def proc(i):
+        yield 1.0
+        order.append(i)
+
+    for i in range(5):
+        eng.process(proc(i))
+    eng.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_deadlock_detection():
+    eng = Engine()
+    ev = eng.event("never")
+
+    def stuck():
+        yield ev
+
+    eng.process(stuck(), name="stuck-proc")
+    with pytest.raises(DeadlockError, match="stuck-proc"):
+        eng.run()
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+
+    def bad():
+        yield -1.0
+
+    eng.process(bad())
+    with pytest.raises(SimulationError):
+        eng.run()
+
+
+def test_bad_yield_type_rejected():
+    eng = Engine()
+
+    def bad():
+        yield "nope"
+
+    eng.process(bad())
+    with pytest.raises(SimulationError):
+        eng.run()
+
+
+def test_run_until():
+    eng = Engine()
+
+    def proc():
+        yield 10.0
+
+    eng.process(proc())
+    assert eng.run(until=4.0) == pytest.approx(4.0)
+    assert eng.run() == pytest.approx(10.0)
+
+
+def test_spawn_all_names():
+    eng = Engine()
+
+    def proc():
+        yield 1.0
+
+    procs = eng.spawn_all([proc() for _ in range(3)], prefix="r")
+    assert [p.name for p in procs] == ["r0", "r1", "r2"]
+    eng.run()
+    assert all(p.finished for p in procs)
+
+
+def test_many_processes_scale():
+    eng = Engine()
+
+    def proc():
+        yield 1.0
+        yield 1.0
+
+    eng.spawn_all([proc() for _ in range(5000)])
+    assert eng.run() == pytest.approx(2.0)

@@ -1,0 +1,70 @@
+"""Property-based roundtrip tests across serialization boundaries."""
+
+import io
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.genome import alphabet
+from repro.genome.fasta import read_fasta, read_fastq, write_fasta, write_fastq
+from repro.genome.sequence import ReadSet
+
+dna_reads = st.lists(
+    st.text(alphabet="ACGTN", min_size=1, max_size=300),
+    min_size=1,
+    max_size=20,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dna_reads)
+def test_fasta_roundtrip_property(seqs):
+    rs = ReadSet.from_strings(seqs)
+    buf = io.StringIO()
+    write_fasta(rs, buf)
+    buf.seek(0)
+    back = read_fasta(buf)
+    assert [str(r) for r in back] == seqs
+
+
+@settings(max_examples=40, deadline=None)
+@given(dna_reads)
+def test_fastq_roundtrip_property(seqs):
+    rs = ReadSet.from_strings(seqs)
+    buf = io.StringIO()
+    write_fastq(rs, buf)
+    buf.seek(0)
+    back = read_fastq(buf)
+    assert [str(r) for r in back] == seqs
+
+
+@settings(max_examples=40, deadline=None)
+@given(dna_reads)
+def test_readset_subset_identity(seqs):
+    rs = ReadSet.from_strings(seqs)
+    sub = rs.subset(np.arange(len(rs)))
+    assert [str(r) for r in sub] == seqs
+    assert np.array_equal(sub.ids, rs.ids)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dna_reads)
+def test_readset_lengths_consistent(seqs):
+    rs = ReadSet.from_strings(seqs)
+    assert rs.lengths.tolist() == [len(s) for s in seqs]
+    assert rs.total_bases == sum(len(s) for s in seqs)
+    # offsets are a valid CSR over the buffer
+    assert rs.offsets[0] == 0
+    assert rs.offsets[-1] == rs.buffer.size
+    assert np.all(np.diff(rs.offsets) >= 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(alphabet="ACGTN", max_size=200))
+def test_double_reverse_complement_via_strings(s):
+    codes = alphabet.encode(s)
+    rc = alphabet.decode(alphabet.reverse_complement(codes))
+    back = alphabet.decode(
+        alphabet.reverse_complement(alphabet.encode(rc))
+    )
+    assert back == s

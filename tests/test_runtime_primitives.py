@@ -1,0 +1,210 @@
+"""Tests for the micro SPMD runtime: queues, collectives, RPC."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.machine.config import cori_knl
+from repro.machine.engine import Engine
+from repro.runtime.collectives import Collectives
+from repro.runtime.context import SpmdContext
+from repro.runtime.queues import SimQueue
+from repro.runtime.rpc import RpcLayer
+
+
+def make_ctx(ranks=4, nodes=1):
+    return SpmdContext(cori_knl(nodes, app_cores_per_node=ranks // nodes))
+
+
+def test_simqueue_fifo():
+    eng = Engine()
+    q = SimQueue(eng, "t")
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield from q.get()
+            got.append(item)
+
+    def producer():
+        yield 1.0
+        q.put("a")
+        q.put("b")
+        yield 1.0
+        q.put("c")
+
+    eng.process(consumer())
+    eng.process(producer())
+    eng.run()
+    assert got == ["a", "b", "c"]
+
+
+def test_simqueue_single_consumer():
+    eng = Engine()
+    q = SimQueue(eng, "t")
+
+    def consumer():
+        yield from q.get()
+
+    eng.process(consumer())
+    eng.process(consumer())
+    with pytest.raises(SimulationError):
+        eng.run()
+
+
+def test_barrier_synchronizes_ranks():
+    ctx = make_ctx(4)
+    coll = Collectives(ctx)
+    exit_times = {}
+
+    def rank_main(rank):
+        yield float(rank)  # ranks arrive staggered
+        yield from coll.barrier(rank)
+        exit_times[rank] = ctx.engine.now
+
+    ctx.engine.spawn_all(rank_main(r) for r in range(4))
+    ctx.engine.run()
+    times = np.array([exit_times[r] for r in range(4)])
+    assert np.allclose(times, times[0])
+    assert times[0] >= 3.0  # last arrival gates everyone
+    # waiting time accounted as sync
+    sync = ctx.timers.get("sync")
+    assert sync[0] > sync[3]
+
+
+def test_allreduce_sum():
+    ctx = make_ctx(4)
+    coll = Collectives(ctx)
+    results = {}
+
+    def rank_main(rank):
+        value = yield from coll.allreduce(rank, rank + 1)
+        results[rank] = value
+
+    ctx.engine.spawn_all(rank_main(r) for r in range(4))
+    ctx.engine.run()
+    assert all(v == 10 for v in results.values())
+
+
+def test_split_barrier_overlap():
+    """Work done between enter and wait happens while others arrive."""
+    ctx = make_ctx(4)
+    coll = Collectives(ctx)
+    waits = {}
+
+    def rank_main(rank):
+        coll.split_barrier_enter(rank)
+        # rank 0 computes for 5s while others enter immediately
+        yield 5.0 if rank == 0 else 0.1
+        t0 = ctx.engine.now
+        yield from coll.split_barrier_wait(rank)
+        waits[rank] = ctx.engine.now - t0
+
+    ctx.engine.spawn_all(rank_main(r) for r in range(4))
+    ctx.engine.run()
+    # everyone entered at t=0, so nobody waits long (the overlap worked)
+    assert all(w < 1.0 for w in waits.values())
+
+
+def test_split_barrier_wait_before_enter():
+    ctx = make_ctx(2)
+    coll = Collectives(ctx)
+
+    def bad(rank):
+        yield from coll.split_barrier_wait(rank)
+
+    ctx.engine.process(bad(0))
+    with pytest.raises(SimulationError):
+        ctx.engine.run()
+
+
+def test_alltoallv_delivers_payloads():
+    ctx = make_ctx(4)
+    coll = Collectives(ctx)
+    received = {}
+
+    def rank_main(rank):
+        # rank r sends its id to rank (r+1) % 4
+        dst = (rank + 1) % 4
+        send = {dst: [(f"from{rank}", 100.0)]}
+        items = yield from coll.alltoallv(rank, send, 100.0)
+        received[rank] = [x for x, _ in items]
+
+    ctx.engine.spawn_all(rank_main(r) for r in range(4))
+    ctx.engine.run()
+    for r in range(4):
+        assert received[r] == [f"from{(r - 1) % 4}"]
+    # communication was charged
+    assert ctx.timers.get("comm").sum() > 0
+
+
+def test_alltoallv_empty_send():
+    ctx = make_ctx(2)
+    coll = Collectives(ctx)
+
+    def rank_main(rank):
+        items = yield from coll.alltoallv(rank, {}, 0.0)
+        assert items == []
+
+    ctx.engine.spawn_all(rank_main(r) for r in range(2))
+    ctx.engine.run()
+
+
+def test_rpc_roundtrip_and_latency():
+    ctx = make_ctx(4, nodes=2)
+    rpc = RpcLayer(ctx)
+    for r in range(4):
+        rpc.register(r, lambda token: (token * 2, 1000.0))
+    responses = []
+
+    def caller(rank):
+        rpc.call(rank, (rank + 2) % 4, rank + 10)
+        yield ctx.charge("comm", rank, rpc.injection_cost())
+        resp = yield from rpc.inboxes[rank].get()
+        responses.append(resp)
+
+    ctx.engine.spawn_all(caller(r) for r in range(4))
+    ctx.engine.run()
+    assert len(responses) == 4
+    for resp in responses:
+        assert resp.value == resp.token * 2
+        assert resp.latency > 0
+    assert rpc.total_calls == 4
+
+
+def test_rpc_serializes_at_target():
+    """Many requests to one target finish later than a single request."""
+    ctx = make_ctx(4, nodes=2)
+    rpc = RpcLayer(ctx)
+    for r in range(4):
+        rpc.register(r, lambda token: (token, 10.0))
+    done = {}
+
+    def caller(rank, burst):
+        for i in range(burst):
+            rpc.call(rank, 0, i)
+            yield ctx.charge("comm", rank, rpc.injection_cost())
+        for _ in range(burst):
+            yield from rpc.inboxes[rank].get()
+        done[rank] = ctx.engine.now
+
+    ctx.engine.process(caller(1, 1))
+    ctx.engine.process(caller(2, 500))
+    ctx.engine.run()
+    assert rpc.served(0) == 501
+    assert done[2] > done[1]
+
+
+def test_rpc_to_self_rejected():
+    ctx = make_ctx(2)
+    rpc = RpcLayer(ctx)
+    rpc.register(0, lambda t: (t, 1.0))
+    with pytest.raises(SimulationError):
+        rpc.call(0, 0, "x")
+
+
+def test_rpc_unregistered_target():
+    ctx = make_ctx(2)
+    rpc = RpcLayer(ctx)
+    with pytest.raises(SimulationError):
+        rpc.call(0, 1, "x")

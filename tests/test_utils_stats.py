@@ -1,0 +1,66 @@
+"""Tests for repro.utils.stats (the paper's min/avg/max/sum reductions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.stats import Summary, load_imbalance, summarize
+from repro.utils.units import fmt_bytes, fmt_time, GIB, MIB, HOUR, MS, US
+
+
+def test_summarize_basic():
+    s = summarize([1.0, 2.0, 3.0])
+    assert s.min == 1.0 and s.max == 3.0
+    assert s.avg == pytest.approx(2.0)
+    assert s.sum == pytest.approx(6.0)
+    assert s.count == 3
+
+
+def test_summarize_empty():
+    s = summarize([])
+    assert s.count == 0 and s.sum == 0.0
+    assert s.imbalance == 1.0
+
+
+def test_imbalance_and_spread():
+    s = summarize([1.0, 1.0, 4.0])
+    assert s.imbalance == pytest.approx(2.0)
+    assert s.spread == pytest.approx(3.0)
+    assert load_imbalance([2.0, 2.0]) == pytest.approx(1.0)
+
+
+def test_summary_scaled():
+    s = summarize([1.0, 3.0]).scaled(2.0)
+    assert (s.min, s.max, s.sum) == (2.0, 6.0, 8.0)
+
+
+def test_summary_add_requires_same_count():
+    a = summarize([1.0, 2.0])
+    b = summarize([1.0, 2.0, 3.0])
+    with pytest.raises(ValueError):
+        _ = a + b
+    c = a + summarize([10.0, 20.0])
+    assert c.sum == pytest.approx(33.0)
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=1e6), min_size=1, max_size=50))
+def test_imbalance_at_least_one(values):
+    s = summarize(values)
+    assert s.imbalance >= 1.0 - 1e-9
+    # np.mean can exceed max by an ulp on identical values
+    assert s.min * (1 - 1e-9) <= s.avg <= s.max * (1 + 1e-9)
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(512) == "512 B"
+    assert fmt_bytes(3 * MIB) == "3.00 MiB"
+    assert fmt_bytes(2 * GIB) == "2.00 GiB"
+    assert fmt_bytes(-3 * MIB) == "-3.00 MiB"
+
+
+def test_fmt_time():
+    assert fmt_time(2 * HOUR) == "2.00 h"
+    assert fmt_time(90) == "1.50 min"
+    assert fmt_time(1.5) == "1.50 s"
+    assert fmt_time(2 * MS) == "2.00 ms"
+    assert fmt_time(3 * US) == "3.00 us"
