@@ -9,6 +9,12 @@ persists them under ``benchmarks/output/`` for EXPERIMENTS.md.
 Workloads are cached inside :mod:`repro.core.api`, so the expensive
 statistical renderings (Human CCS at 32K simulated cores) are built once
 per pytest session and shared by every figure that needs them.
+
+Tracing: set ``REPRO_BENCH_TRACE=<dir>`` to dump every benchmark's
+simulated runs as Chrome trace-format JSON into that directory (one file
+per benchmark, one trace "process" per engine run inside it) — open them
+in ``chrome://tracing`` or Perfetto.  The ambient default tracer is
+installed per test, so the figure builders need no plumbing.
 """
 
 from __future__ import annotations
@@ -18,12 +24,16 @@ from pathlib import Path
 
 import pytest
 
+from repro.obs import Tracer, set_default_tracer
 from repro.perf.format import render_table
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 
 #: Set REPRO_BENCH_FAST=1 to shrink the node sweeps (CI smoke runs).
 FAST = os.environ.get("REPRO_BENCH_FAST", "") == "1"
+
+#: Set REPRO_BENCH_TRACE=<dir> to write one Chrome trace per benchmark.
+TRACE_DIR = os.environ.get("REPRO_BENCH_TRACE", "")
 
 HUMAN_NODES = (8, 16, 32) if FAST else (8, 16, 32, 64, 128, 256, 512)
 ECOLI_NODES = (1, 4, 16) if FAST else (1, 2, 4, 8, 16, 32, 64, 128)
@@ -47,6 +57,25 @@ def run_once(benchmark, fn, *args, **kwargs):
     """Time one full regeneration of a figure."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                               rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(autouse=True)
+def bench_tracer(request):
+    """Install the ambient tracer for one benchmark; dump its trace after."""
+    if not TRACE_DIR:
+        yield None
+        return
+    tracer = Tracer()
+    set_default_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_default_tracer(None)
+    if tracer.events:
+        out = Path(TRACE_DIR)
+        out.mkdir(parents=True, exist_ok=True)
+        safe = request.node.name.replace("/", "_").replace(":", "_")
+        tracer.write_chrome(str(out / f"{safe}.trace.json"))
 
 
 @pytest.fixture(scope="session")

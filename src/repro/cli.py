@@ -20,16 +20,19 @@ Examples
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 
 from repro.core.api import (
     compare_engines,
     get_workload,
+    make_machine,
     run_alignment,
     scaling_sweep,
 )
 from repro.engines.base import EngineConfig
 from repro.genome.datasets import DATASETS
+from repro.obs import MetricsRegistry, Tracer, check_breakdown, check_trace
 from repro.perf.format import render_breakdown_rows, render_table
 from repro.utils.units import fmt_bytes, fmt_time
 
@@ -51,6 +54,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cores-per-node", type=int, default=64)
         p.add_argument("--comm-only", action="store_true",
                        help="skip alignment computation (paper 4.3 mode)")
+        p.add_argument("--trace", metavar="PATH", default=None,
+                       help="write a Chrome trace-format JSON of the run(s) "
+                            "(open in chrome://tracing or Perfetto)")
+        p.add_argument("--metrics", action="store_true",
+                       help="print per-rank counter rollups after the run")
 
     p_run = sub.add_parser("run", help="run one engine")
     common(p_run)
@@ -73,6 +81,73 @@ def build_parser() -> argparse.ArgumentParser:
 def _config(args) -> EngineConfig:
     cfg = EngineConfig(seed=args.seed)
     return cfg.comm_only() if args.comm_only else cfg
+
+
+def _observability(args) -> tuple[Tracer | None, MetricsRegistry | None]:
+    tracer = Tracer() if args.trace else None
+    metrics = None
+    # counter registries are sized to one rank count, so --metrics only
+    # applies to commands with a single --nodes value (run / compare)
+    if args.metrics:
+        if isinstance(getattr(args, "nodes", None), int):
+            machine = make_machine(args.nodes, args.cores_per_node)
+            metrics = MetricsRegistry(machine.total_ranks)
+        else:
+            print("metrics: skipped (rank count varies across a sweep; "
+                  "use `run` or `compare` for counter rollups)")
+    return tracer, metrics
+
+
+def _finish_observability(args, tracer: Tracer | None,
+                          metrics: MetricsRegistry | None,
+                          results) -> int:
+    """Write the trace, print conservation status and counter rollups.
+
+    Returns a process exit code: nonzero when the trace file could not
+    be written (the simulation results above it are still valid).
+    """
+    rc = 0
+    if tracer is not None:
+        for res in results:
+            report = check_breakdown(res.breakdown)
+            print(report.describe())
+        # one check per traced run (one Chrome pid each)
+        for pid in range(tracer.current_pid + 1):
+            wall = results[pid].wall_time if pid < len(results) else None
+            if wall is not None:
+                print(check_trace(tracer, wall, pid=pid).describe())
+        try:
+            tracer.write_chrome(args.trace)
+        except OSError as exc:
+            print(f"error: cannot write trace {args.trace}: {exc}",
+                  file=sys.stderr)
+            rc = 1
+        else:
+            print(f"trace: {len(tracer.events)} events -> {args.trace}")
+    if metrics is not None and metrics.names():
+        print(render_table(
+            "Per-rank counters",
+            ["counter", "min", "avg", "max", "sum"],
+            metrics.rows(),
+        ))
+    return rc
+
+
+def _compare_verdict(bsp: float, asy: float) -> str:
+    """Human verdict on the two wall times.
+
+    Guards the degenerate cases reachable with ``--comm-only`` on tiny
+    workloads: zero wall times (no division) and ties (no
+    "+0.0% slower" nonsense).
+    """
+    if bsp <= 0 or asy <= 0:
+        return (f"wall times too small to compare "
+                f"(bsp={fmt_time(bsp)}, async={fmt_time(asy)})")
+    if math.isclose(bsp, asy, rel_tol=1e-9):
+        return f"engines tie (both {fmt_time(bsp)})"
+    if asy < bsp:
+        return f"async is {100 * (bsp / asy - 1):.1f}% faster"
+    return f"async is {100 * (asy / bsp - 1):.1f}% slower"
 
 
 def _print_result(name: str, res) -> None:
@@ -106,31 +181,41 @@ def main(argv: list[str] | None = None) -> int:
           f"{workload.n_tasks:,} tasks")
 
     if args.command == "run":
+        tracer, metrics = _observability(args)
         res = run_alignment(workload, args.nodes, args.engine,
                             config=_config(args),
-                            cores_per_node=args.cores_per_node)
+                            cores_per_node=args.cores_per_node,
+                            tracer=tracer, metrics=metrics)
         _print_result(args.engine, res)
-        return 0
+        return _finish_observability(args, tracer, metrics, [res])
 
     if args.command == "compare":
+        tracer, metrics = _observability(args)
         results = compare_engines(workload, args.nodes, config=_config(args),
-                                  cores_per_node=args.cores_per_node)
+                                  cores_per_node=args.cores_per_node,
+                                  tracer=tracer, metrics=metrics)
         for name, res in results.items():
             _print_result(name, res)
-        bsp, asy = results["bsp"].wall_time, results["async"].wall_time
-        print(f"async is {100 * (bsp / asy - 1):+.1f}% "
-              f"{'faster' if asy < bsp else 'slower'}")
-        return 0
+        print(_compare_verdict(results["bsp"].wall_time,
+                               results["async"].wall_time))
+        return _finish_observability(args, tracer, metrics,
+                                     [results["bsp"], results["async"]])
 
     if args.command == "sweep":
+        tracer, _ = _observability(args)
         results = scaling_sweep(workload, args.nodes, config=_config(args),
-                                cores_per_node=args.cores_per_node)
+                                cores_per_node=args.cores_per_node,
+                                tracer=tracer)
         print(render_table(
             f"Strong scaling {args.workload}",
             ["engine", "nodes", "wall_s", "comm%", "sync%", "align%",
              "overhead%", "rounds"],
             render_breakdown_rows(results),
         ))
+        if tracer is not None:
+            ordered = [results[a][n] for n in args.nodes
+                       for a in ("bsp", "async") if a in results]
+            return _finish_observability(args, tracer, None, ordered)
         return 0
 
     return 2  # pragma: no cover - argparse enforces the choices

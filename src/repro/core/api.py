@@ -24,6 +24,7 @@ from repro.engines.report import RunResult
 from repro.errors import ConfigurationError
 from repro.genome.datasets import DATASETS, synthesize_dataset
 from repro.machine.config import MachineSpec, cori_knl
+from repro.obs import MetricsRegistry, Tracer
 from repro.pipeline.workload import ConcreteWorkload, StatisticalWorkload
 
 __all__ = [
@@ -84,8 +85,17 @@ def run_alignment(
     config: EngineConfig | None = None,
     cores_per_node: int = 64,
     machine: MachineSpec | None = None,
+    tracer: "Tracer | None" = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> RunResult:
-    """Simulate one engine processing a workload on a machine allocation."""
+    """Simulate one engine processing a workload on a machine allocation.
+
+    ``tracer``/``metrics`` attach observability (see :mod:`repro.obs`): the
+    run emits phase/instant events into the tracer (one Chrome "process"
+    per run) and rolls per-rank counters into the registry.  When no tracer
+    is passed, the engine falls back to the ambient default tracer, if one
+    is installed via :func:`repro.obs.set_default_tracer`.
+    """
     engine_cls = ENGINES.get(approach)
     if engine_cls is None:
         raise ConfigurationError(
@@ -94,7 +104,7 @@ def run_alignment(
     machine = machine or make_machine(nodes, cores_per_node)
     engine = engine_cls(config=config or EngineConfig())
     assignment = workload.assignment(machine.total_ranks)
-    return engine.run(assignment, machine)
+    return engine.run(assignment, machine, tracer=tracer, metrics=metrics)
 
 
 def compare_engines(
@@ -102,10 +112,17 @@ def compare_engines(
     nodes: int,
     config: EngineConfig | None = None,
     cores_per_node: int = 64,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> dict[str, RunResult]:
-    """Run both approaches on identical fixed inputs (the paper's method)."""
+    """Run both approaches on identical fixed inputs (the paper's method).
+
+    With a tracer attached, both runs land in one trace as separate
+    Chrome "processes" — a side-by-side timeline in Perfetto.
+    """
     return {
-        name: run_alignment(workload, nodes, name, config, cores_per_node)
+        name: run_alignment(workload, nodes, name, config, cores_per_node,
+                            tracer=tracer, metrics=metrics)
         for name in ("bsp", "async")
     }
 
@@ -116,12 +133,18 @@ def scaling_sweep(
     approaches: Iterable[str] = ("bsp", "async"),
     config: EngineConfig | None = None,
     cores_per_node: int = 64,
+    tracer: Tracer | None = None,
 ) -> dict[str, dict[int, RunResult]]:
-    """Strong-scaling sweep: results[approach][nodes] -> RunResult."""
+    """Strong-scaling sweep: results[approach][nodes] -> RunResult.
+
+    No ``metrics`` parameter: a counter registry is sized to one rank
+    count, which varies across the sweep — trace instead.
+    """
     out: dict[str, dict[int, RunResult]] = {a: {} for a in approaches}
     for nodes in node_counts:
         for approach in approaches:
             out[approach][nodes] = run_alignment(
-                workload, nodes, approach, config, cores_per_node
+                workload, nodes, approach, config, cores_per_node,
+                tracer=tracer,
             )
     return out

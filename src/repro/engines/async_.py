@@ -34,6 +34,14 @@ from repro.errors import ConfigurationError
 from repro.machine.config import MachineSpec
 from repro.machine.network import NetworkModel
 from repro.machine.noise import NoiseModel
+from repro.obs import (
+    ENGINE_LANE,
+    MetricsRegistry,
+    Tracer,
+    assert_conserved,
+    check_trace,
+    get_default_tracer,
+)
 from repro.pipeline.workload import WorkloadAssignment
 from repro.utils.rng import RngFactory
 from repro.utils.units import MB
@@ -54,13 +62,20 @@ class AsyncEngine:
     name: str = "async"
 
     def run(self, assignment: WorkloadAssignment,
-            machine: MachineSpec) -> RunResult:
+            machine: MachineSpec,
+            tracer: Tracer | None = None,
+            metrics: MetricsRegistry | None = None) -> RunResult:
         if assignment.num_ranks != machine.total_ranks:
             raise ConfigurationError(
                 f"assignment is for {assignment.num_ranks} ranks but machine "
                 f"has {machine.total_ranks}"
             )
         P = machine.total_ranks
+        tracer = tracer if tracer is not None else get_default_tracer()
+        if tracer is not None:
+            tracer.begin_run(
+                f"{self.name} {assignment.name} nodes={machine.nodes} P={P}"
+            )
         net = NetworkModel(machine)
         noise = NoiseModel(machine, RngFactory(self.config.seed),
                            noise_fraction=self.config.noise_fraction)
@@ -125,6 +140,34 @@ class AsyncEngine:
         wall = float(finish.max(initial=0.0)) + bar
         timers.add_array("sync", wall - finish)
 
+        if tracer is not None:
+            tracer.instant(ENGINE_LANE, "split_barrier_release", bar)
+            tracer.instant(ENGINE_LANE, "exit_barrier",
+                           float(finish.max(initial=0.0)))
+            for i in range(P):
+                # phase A: local pairs + pre-overhead overlapped with the
+                # split barrier, idle gap (if any) is sync
+                la = float(local_compute[i])
+                pre = float(overhead_pre[i])
+                a_busy = float(phase_a_busy[i])
+                a_end = float(phase_a_end[i])
+                # phase B: callbacks + visible comm, then exit-barrier wait
+                rc = float(remote_compute[i])
+                cb = float(overhead_cb[i])
+                vis = float(visible_comm[i])
+                for cat, start, dur, label in (
+                    ("compute_align", 0.0, la, "local-pairs"),
+                    ("compute_overhead", la, pre, "index-build"),
+                    ("sync", a_busy, a_end - a_busy, "split-barrier-wait"),
+                    ("compute_align", a_end, rc, "callback-align"),
+                    ("compute_overhead", a_end + rc, cb, "callback-overhead"),
+                    ("comm", a_end + rc + cb, vis, "visible-pull"),
+                    ("sync", float(finish[i]), wall - float(finish[i]),
+                     "exit-barrier"),
+                ):
+                    if dur > 0:
+                        tracer.phase(i, cat, start, dur, name=label)
+
         breakdown = RuntimeBreakdown(
             engine=self.name,
             machine=machine,
@@ -136,6 +179,15 @@ class AsyncEngine:
             sync=timers.get("sync"),
         )
         breakdown.validate()
+        if tracer is not None:
+            # the emitted event stream must independently tile the wall clock
+            assert_conserved(check_trace(tracer, wall, P))
+        if metrics is not None:
+            metrics.add_array("tasks", assignment.tasks_per_rank)
+            metrics.add_array("lookups", assignment.lookups)
+            metrics.add_array("rpc_issued",
+                              np.ceil(assignment.lookups / agg))
+            metrics.add_array("rpc_bytes", assignment.lookup_bytes)
 
         avg_read = (
             assignment.lookup_bytes.sum() / assignment.lookups.sum()

@@ -31,6 +31,14 @@ from repro.errors import ConfigurationError
 from repro.machine.config import MachineSpec
 from repro.machine.network import NetworkModel
 from repro.machine.noise import NoiseModel
+from repro.obs import (
+    ENGINE_LANE,
+    MetricsRegistry,
+    Tracer,
+    assert_conserved,
+    check_trace,
+    get_default_tracer,
+)
 from repro.pipeline.workload import WorkloadAssignment
 from repro.utils.rng import RngFactory
 from repro.utils.units import MB
@@ -79,13 +87,20 @@ class BSPEngine:
     # -- simulation ----------------------------------------------------------
 
     def run(self, assignment: WorkloadAssignment,
-            machine: MachineSpec) -> RunResult:
+            machine: MachineSpec,
+            tracer: Tracer | None = None,
+            metrics: MetricsRegistry | None = None) -> RunResult:
         if assignment.num_ranks != machine.total_ranks:
             raise ConfigurationError(
                 f"assignment is for {assignment.num_ranks} ranks but machine "
                 f"has {machine.total_ranks}"
             )
         P = machine.total_ranks
+        tracer = tracer if tracer is not None else get_default_tracer()
+        if tracer is not None:
+            tracer.begin_run(
+                f"{self.name} {assignment.name} nodes={machine.nodes} P={P}"
+            )
         net = NetworkModel(machine)
         noise = NoiseModel(machine, RngFactory(self.config.seed),
                            noise_fraction=self.config.noise_fraction)
@@ -111,6 +126,7 @@ class BSPEngine:
         wall = 0.0
         exchange_total = 0.0
         for r in range(rounds):
+            t0 = wall  # superstep start
             # --- exchange phase (blocking collective) ---
             round_send = send / rounds
             round_recv = recv / rounds
@@ -150,9 +166,32 @@ class BSPEngine:
             timers.add_array("sync", phase_end - phase)
             wall += phase_end
 
+            if tracer is not None:
+                tracer.instant(ENGINE_LANE, "superstep", t0,
+                               round=r, rounds=rounds)
+                tc = t0 + duration  # compute phase start
+                for i in range(P):
+                    p_comm = float(personal[i])
+                    a = 0.0 if comm_only else float(align_part[i])
+                    o = float(phase[i]) - a
+                    for cat, start, dur, label in (
+                        ("comm", t0, p_comm, f"exchange[{r}]"),
+                        ("sync", t0 + p_comm, duration - p_comm,
+                         f"exchange-skew[{r}]"),
+                        ("compute_align", tc, a, f"align[{r}]"),
+                        ("compute_overhead", tc + a, o, f"overhead[{r}]"),
+                        ("sync", tc + float(phase[i]),
+                         phase_end - float(phase[i]), f"compute-wait[{r}]"),
+                    ):
+                        if dur > 0:
+                            tracer.phase(i, cat, start, dur, name=label)
+
         # final barrier closing the last superstep
         bar = net.barrier_time()
         timers.add_array("sync", np.full(P, bar))
+        if tracer is not None:
+            for i in range(P):
+                tracer.phase(i, "sync", wall, bar, name="exit-barrier")
         wall += bar
 
         breakdown = RuntimeBreakdown(
@@ -166,6 +205,14 @@ class BSPEngine:
             sync=timers.get("sync"),
         )
         breakdown.validate()
+        if tracer is not None:
+            # the emitted event stream must independently tile the wall clock
+            assert_conserved(check_trace(tracer, wall, P))
+        if metrics is not None:
+            metrics.add_array("tasks", assignment.tasks_per_rank)
+            metrics.add_array("lookups", assignment.lookups)
+            metrics.add_array("bytes_sent", send)
+            metrics.add_array("bytes_recv", recv)
 
         memory = (
             RUNTIME_BASE_MEMORY

@@ -32,6 +32,14 @@ from repro.engines.bsp import (
 from repro.engines.report import RunResult, RuntimeBreakdown
 from repro.errors import ConfigurationError
 from repro.machine.config import MachineSpec
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    assert_conserved,
+    check_breakdown,
+    check_trace,
+    get_default_tracer,
+)
 from repro.pipeline.workload import ConcreteWorkload
 from repro.runtime.collectives import Collectives
 from repro.runtime.context import SpmdContext
@@ -52,15 +60,22 @@ def _rank_task_lists(plan, num_ranks: int) -> list[np.ndarray]:
 class _MicroBase:
     config: EngineConfig = field(default_factory=EngineConfig)
 
-    def _prepare(self, workload: ConcreteWorkload, machine: MachineSpec):
+    def _prepare(self, workload: ConcreteWorkload, machine: MachineSpec,
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None):
         P = machine.total_ranks
         if P > 4096:
             raise ConfigurationError(
                 "micro engines are message-level simulations; use the macro "
                 "engines beyond a few thousand ranks"
             )
+        tracer = tracer if tracer is not None else get_default_tracer()
+        if tracer is not None:
+            tracer.begin_run(
+                f"{self.name} {workload.name} nodes={machine.nodes} P={P}"
+            )
         plan = workload.micro_plan(P)
-        ctx = SpmdContext(machine)
+        ctx = SpmdContext(machine, tracer=tracer, metrics=metrics)
         rank_tasks = _rank_task_lists(plan, P)
         return plan, ctx, rank_tasks
 
@@ -96,6 +111,14 @@ class _MicroBase:
             comm=ctx.timers.get("comm"),
             sync=ctx.timers.get("sync"),
         )
+        # per-rank phase sums must tile the wall clock — both from the
+        # accumulators and, when traced, from the emitted event stream
+        assert_conserved(check_breakdown(breakdown))
+        if ctx.tracer is not None:
+            assert_conserved(
+                check_trace(ctx.tracer, breakdown.wall_time,
+                            machine.total_ranks)
+            )
         return RunResult(
             breakdown=breakdown,
             memory_high_water=memory,
@@ -112,9 +135,12 @@ class MicroBSPEngine(_MicroBase):
     name: str = "bsp-micro"
 
     def run(self, workload: ConcreteWorkload, machine: MachineSpec,
-            kernel: str = "model") -> RunResult:
+            kernel: str = "model",
+            tracer: Tracer | None = None,
+            metrics: MetricsRegistry | None = None) -> RunResult:
         P = machine.total_ranks
-        plan, ctx, rank_tasks = self._prepare(workload, machine)
+        plan, ctx, rank_tasks = self._prepare(workload, machine,
+                                              tracer, metrics)
         coll = Collectives(ctx)
         aligner = SeedExtendAligner() if kernel == "real" else None
         lengths = workload.read_lengths
@@ -144,6 +170,9 @@ class MicroBSPEngine(_MicroBase):
             local_tasks = tasks[remote < 0]
 
             for rnd in range(rounds):
+                if ctx.tracer is not None:
+                    ctx.tracer.instant(rank, "superstep", ctx.engine.now,
+                                       round=rnd, rounds=rounds)
                 send: dict[int, list] = {}
                 for dst, read_ids in need[rank].items():
                     items = [
@@ -173,8 +202,11 @@ class MicroBSPEngine(_MicroBase):
                 for t in todo:
                     seconds, alignment = self._task_compute(workload, t, aligner)
                     if seconds:
-                        yield ctx.charge("compute_align", rank, seconds)
+                        yield ctx.charge("compute_align", rank, seconds,
+                                         name=f"task{t}")
+                    ctx.metrics.inc("tasks", rank)
                     if alignment is not None:
+                        ctx.metrics.inc("cells", rank, alignment.cells)
                         alignments.append(alignment)
                 oh = (
                     len(todo) * self.config.bsp_task_overhead
@@ -209,9 +241,12 @@ class MicroAsyncEngine(_MicroBase):
     name: str = "async-micro"
 
     def run(self, workload: ConcreteWorkload, machine: MachineSpec,
-            kernel: str = "model") -> RunResult:
+            kernel: str = "model",
+            tracer: Tracer | None = None,
+            metrics: MetricsRegistry | None = None) -> RunResult:
         P = machine.total_ranks
-        plan, ctx, rank_tasks = self._prepare(workload, machine)
+        plan, ctx, rank_tasks = self._prepare(workload, machine,
+                                              tracer, metrics)
         coll = Collectives(ctx)
         rpc = RpcLayer(ctx)
         aligner = SeedExtendAligner() if kernel == "real" else None
@@ -249,8 +284,11 @@ class MicroAsyncEngine(_MicroBase):
             for t in local_tasks:
                 seconds, alignment = self._task_compute(workload, int(t), aligner)
                 if seconds:
-                    yield ctx.charge("compute_align", rank, seconds)
+                    yield ctx.charge("compute_align", rank, seconds,
+                                     name=f"task{int(t)}")
+                ctx.metrics.inc("tasks", rank)
                 if alignment is not None:
+                    ctx.metrics.inc("cells", rank, alignment.cells)
                     alignments.append(alignment)
             yield from coll.split_barrier_wait(rank)
 
@@ -268,6 +306,10 @@ class MicroAsyncEngine(_MicroBase):
                 ctx.memory.allocate(rank, f"inflight{rid}", float(lengths[rid]))
                 next_req += 1
                 outstanding += 1
+                ctx.metrics.observe_max("window_occupancy", rank, outstanding)
+                if ctx.tracer is not None:
+                    ctx.tracer.counter(rank, "outstanding", ctx.engine.now,
+                                       outstanding)
 
             while next_req < len(pending) and outstanding < window:
                 yield ctx.charge("comm", rank, rpc.injection_cost())
@@ -278,18 +320,25 @@ class MicroAsyncEngine(_MicroBase):
                 response = yield from inbox.get()
                 # blocked time with no compute available = visible latency
                 # (already elapsed while waiting: record, do not re-advance)
-                ctx.timers.add("comm", rank, ctx.engine.now - t0)
+                ctx.record("comm", rank, ctx.engine.now - t0,
+                           name="inbox-wait")
                 ctx.memory.free(rank, f"inflight{response.token}")
                 done += 1
                 outstanding -= 1
+                if ctx.tracer is not None:
+                    ctx.tracer.counter(rank, "outstanding", ctx.engine.now,
+                                       outstanding)
                 if next_req < len(pending):
                     yield ctx.charge("comm", rank, rpc.injection_cost())
                     issue_one()
                 for t in by_read[int(response.token)]:
                     seconds, alignment = self._task_compute(workload, t, aligner)
                     if seconds:
-                        yield ctx.charge("compute_align", rank, seconds)
+                        yield ctx.charge("compute_align", rank, seconds,
+                                         name=f"task{t}")
+                    ctx.metrics.inc("tasks", rank)
                     if alignment is not None:
+                        ctx.metrics.inc("cells", rank, alignment.cells)
                         alignments.append(alignment)
             yield ctx.charge("compute_overhead", rank, 0.5 * oh)
 

@@ -87,7 +87,15 @@ class RuntimeBreakdown:
         )
 
     def fractions(self) -> dict[str, float]:
-        """Average share of each category in the wall-clock runtime."""
+        """Average share of each category in the wall-clock runtime.
+
+        Contract: the returned dict *always* carries every key in
+        :data:`CATEGORIES`, so callers may index it unconditionally (the
+        CLI's ``_print_result`` does).  A zero or negative wall clock — an
+        empty workload, or ``--comm-only`` on inputs too small to register —
+        yields all-zero fractions rather than a division error or a bare
+        ``None``.
+        """
         if self.wall_time <= 0:
             return {c: 0.0 for c in CATEGORIES}
         return {

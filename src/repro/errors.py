@@ -35,5 +35,9 @@ class MemoryLimitError(SimulationError):
     """A simulated allocation exceeded the per-node memory budget."""
 
 
+class AccountingError(SimulationError):
+    """Per-rank phase times failed to tile the wall clock (conservation)."""
+
+
 class PartitionError(ReproError):
     """Read/task partitioning violated an invariant."""

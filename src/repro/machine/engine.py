@@ -26,9 +26,12 @@ comfortably within a laptop budget.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
 
 from repro.errors import DeadlockError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.tracer import Tracer
 
 __all__ = ["Engine", "Event", "Process"]
 
@@ -86,6 +89,7 @@ class Process:
         engine._processes.append(self)
         engine._live_count += 1
         engine._schedule(0.0, self._step, None)
+        engine._trace_instant("process_start", process=name)
 
     @property
     def finished(self) -> bool:
@@ -107,6 +111,7 @@ class Process:
             self.blocked_on = None
             engine._live_count -= 1
             self._done_event.succeed(stop.value)
+            engine._trace_instant("process_end", process=self.name)
             return
         if isinstance(item, (int, float)):
             if item < 0:
@@ -130,12 +135,21 @@ class Process:
 class Engine:
     """The event loop: a time-ordered heap of callbacks."""
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: "Tracer | None" = None) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Callable, Any]] = []
         self._seq = 0
         self._processes: list[Process] = []
         self._live_count = 0
+        #: optional observability hook (set directly or via SpmdContext);
+        #: lifecycle events land on the engine lane of the trace
+        self.tracer = tracer
+
+    def _trace_instant(self, name: str, **args: Any) -> None:
+        if self.tracer is not None:
+            from repro.obs.events import ENGINE_LANE
+
+            self.tracer.instant(ENGINE_LANE, name, self.now, **args)
 
     # -- scheduling --------------------------------------------------------
 
@@ -183,6 +197,7 @@ class Engine:
             blocked = ", ".join(
                 f"{p.name} (waiting on {p.blocked_on})" for p in stuck[:8]
             )
+            self._trace_instant("deadlock", blocked=len(stuck))
             raise DeadlockError(
                 f"{len(stuck)} process(es) still blocked after "
                 f"event queue drained: {blocked}"

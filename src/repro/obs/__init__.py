@@ -1,0 +1,69 @@
+"""Observability: event tracing, per-rank metrics, conservation checking.
+
+The paper's entire argument rests on per-phase time accounting — the
+stacked compute/overhead/comm/sync bars of Figures 8–10 — so this package
+makes where time goes *observable* rather than merely summed:
+
+* :class:`Tracer` — typed event stream (phase charges, rendezvous
+  arrivals, RPC issue/callback, superstep boundaries) exporting to Chrome
+  trace-format JSON with one lane per rank, loadable in ``chrome://tracing``
+  or Perfetto;
+* :class:`MetricsRegistry` — per-rank counters (messages, bytes, cells,
+  window occupancy) with min/avg/max/sum rollups;
+* :mod:`~repro.obs.conservation` — asserts per rank that
+  ``compute + overhead + comm + sync == wall`` both from the breakdown
+  accumulators and, independently, by re-summing the emitted trace.
+
+A process-wide *default tracer* supports ambient wiring (the benchmark
+suite installs one when ``REPRO_BENCH_TRACE`` is set); engines resolve it
+whenever no tracer is passed explicitly.
+
+See ``docs/OBSERVABILITY.md`` for the event schema and viewer workflow.
+"""
+
+from __future__ import annotations
+
+from repro.obs.conservation import (
+    ConservationReport,
+    assert_conserved,
+    check_breakdown,
+    check_trace,
+)
+from repro.obs.events import (
+    ENGINE_LANE,
+    CounterEvent,
+    InstantEvent,
+    MetaEvent,
+    PhaseEvent,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "Tracer",
+    "MetricsRegistry",
+    "ConservationReport",
+    "check_breakdown",
+    "check_trace",
+    "assert_conserved",
+    "PhaseEvent",
+    "InstantEvent",
+    "CounterEvent",
+    "MetaEvent",
+    "ENGINE_LANE",
+    "get_default_tracer",
+    "set_default_tracer",
+]
+
+_default_tracer: Tracer | None = None
+
+
+def set_default_tracer(tracer: Tracer | None) -> None:
+    """Install (or clear, with ``None``) the ambient process-wide tracer."""
+    global _default_tracer
+    _default_tracer = tracer
+
+
+def get_default_tracer() -> Tracer | None:
+    """The ambient tracer, if one is installed."""
+    return _default_tracer

@@ -1,0 +1,73 @@
+"""Per-rank counter registry.
+
+Counters complement the trace: where phase events answer *when* time went
+somewhere, counters answer *how much* traffic and work each rank handled —
+messages issued and serviced, bytes moved, alignment cells computed, and
+high-water marks like outstanding-window occupancy.  Rollups use the same
+min/avg/max/sum vocabulary as the paper's per-rank timing reductions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.stats import Summary, summarize
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Named per-rank counters, created lazily on first touch."""
+
+    def __init__(self, num_ranks: int):
+        if num_ranks < 1:
+            raise ConfigurationError("metrics registry needs >= 1 rank")
+        self.num_ranks = num_ranks
+        self._counters: dict[str, np.ndarray] = {}
+
+    def _array(self, name: str) -> np.ndarray:
+        arr = self._counters.get(name)
+        if arr is None:
+            arr = np.zeros(self.num_ranks, dtype=np.float64)
+            self._counters[name] = arr
+        return arr
+
+    def inc(self, name: str, rank: int, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` on ``rank``."""
+        self._array(name)[rank] += value
+
+    def add_array(self, name: str, values) -> None:
+        """Add a per-rank vector at once (macro engines)."""
+        self._array(name)[:] += np.asarray(values, dtype=np.float64)
+
+    def observe_max(self, name: str, rank: int, value: float) -> None:
+        """Track a high-water mark (e.g. window occupancy)."""
+        arr = self._array(name)
+        if value > arr[rank]:
+            arr[rank] = value
+
+    def get(self, name: str) -> np.ndarray:
+        """Per-rank values for one counter (zeros if never touched)."""
+        return self._array(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._counters)
+
+    def summary(self, name: str) -> Summary:
+        return summarize(self._array(name))
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """Copies of every counter, keyed by name."""
+        return {k: v.copy() for k, v in sorted(self._counters.items())}
+
+    def rows(self) -> list[list]:
+        """``[name, min, avg, max, sum]`` rows for table rendering."""
+        out = []
+        for name in self.names():
+            s = self.summary(name)
+            out.append([
+                name, f"{s.min:.6g}", f"{s.avg:.6g}",
+                f"{s.max:.6g}", f"{s.sum:.6g}",
+            ])
+        return out

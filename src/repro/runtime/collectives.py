@@ -14,9 +14,16 @@ Semantics match the blocking MPI collectives of the paper's BSP code:
   the same accounting the macro BSP engine uses;
 * :meth:`Collectives.split_barrier_enter` / :meth:`split_barrier_wait` —
   the UPC++ split-phase barrier of the async code (§3.2): enter is
-  non-blocking, wait completes once all ranks have entered.
+  non-blocking, wait completes once all ranks have entered.  Like the
+  rendezvous points, split barriers are *reusable*: firing starts a fresh
+  generation, so the same tag synchronizes again on the next
+  enter/wait cycle (a rank must wait before re-entering a tag).
 
-All generators are driven with ``yield from`` inside rank programs.
+All generators are driven with ``yield from`` inside rank programs.  When
+the context carries a :class:`~repro.obs.tracer.Tracer`, every rendezvous
+arrival/release and split-barrier transition emits an instant event, and
+all waiting/transfer time lands in the trace as phase events via
+:meth:`SpmdContext.record` / :meth:`SpmdContext.charge`.
 """
 
 from __future__ import annotations
@@ -56,7 +63,16 @@ class _Rendezvous:
         self.payloads[rank] = payload
         self.arrived += 1
         arrival_time = self.ctx.engine.now
+        if self.ctx.tracer is not None:
+            self.ctx.tracer.instant(
+                rank, "rendezvous_arrival", arrival_time,
+                tag=self.tag, arrived=self.arrived,
+            )
         if self.arrived == self.ctx.num_ranks:
+            if self.ctx.tracer is not None:
+                self.ctx.tracer.instant(
+                    rank, "rendezvous_release", arrival_time, tag=self.tag
+                )
             payloads = self.payloads
             event = self.event
             self.reset()
@@ -69,13 +85,76 @@ class _Rendezvous:
         return t_last - arrival_time, payloads
 
 
+class _SplitBarrier:
+    """One reusable split-phase barrier (per tag).
+
+    Firing starts a fresh *generation* — the historical bug here was never
+    resetting after the release event fired, which made every later barrier
+    on the same tag a silent no-op (it completed immediately without
+    synchronizing).  Each rank's ``enter`` pins the generation event it
+    joined, so a rank can still ``wait`` on generation *g* after faster
+    ranks have begun generation *g+1*.
+    """
+
+    def __init__(self, ctx: SpmdContext, tag: str):
+        self.ctx = ctx
+        self.tag = tag
+        self.generation = 0
+        self.count = 0
+        self.event = ctx.engine.event(f"split-{tag}-g0")
+        #: rank -> release event of the generation that rank entered
+        self.entered: dict[int, Any] = {}
+
+    def enter(self, rank: int) -> None:
+        if rank in self.entered:
+            raise SimulationError(
+                f"rank {rank} re-entered split barrier {self.tag!r} "
+                f"before waiting on it"
+            )
+        self.entered[rank] = self.event
+        self.count += 1
+        if self.ctx.tracer is not None:
+            self.ctx.tracer.instant(
+                rank, "split_barrier_enter", self.ctx.engine.now,
+                tag=self.tag, generation=self.generation,
+                entered=self.count,
+            )
+        if self.count == self.ctx.num_ranks:
+            event = self.event
+            self.generation += 1
+            self.count = 0
+            self.event = self.ctx.engine.event(
+                f"split-{self.tag}-g{self.generation}"
+            )
+            event.succeed(self.ctx.engine.now)
+
+    def wait(self, rank: int):
+        event = self.entered.pop(rank, None)
+        if event is None:
+            raise SimulationError(
+                f"split barrier {self.tag!r} waited before enter"
+            )
+        t0 = self.ctx.engine.now
+        if not event.fired:
+            yield event
+        self.ctx.record("sync", rank, self.ctx.engine.now - t0,
+                        name=f"split-barrier-wait:{self.tag}")
+        if self.ctx.tracer is not None:
+            self.ctx.tracer.instant(
+                rank, "split_barrier_release", self.ctx.engine.now,
+                tag=self.tag,
+            )
+        yield self.ctx.charge("sync", rank, self.ctx.net.barrier_time(),
+                              name=f"split-barrier:{self.tag}")
+
+
 class Collectives:
     """Collective operations bound to one SPMD context."""
 
     def __init__(self, ctx: SpmdContext):
         self.ctx = ctx
         self._points: dict[str, _Rendezvous] = {}
-        self._split_state: dict[str, Any] = {}
+        self._split_state: dict[str, _SplitBarrier] = {}
 
     def _point(self, tag: str) -> _Rendezvous:
         point = self._points.get(tag)
@@ -91,8 +170,9 @@ class Collectives:
         wait, _ = yield from self._point(tag).arrive(rank)
         # `wait` already elapsed while blocked in the rendezvous: record it
         # without advancing the clock again, then pay the tree latency
-        self.ctx.timers.add("sync", rank, wait)
-        yield self.ctx.charge("sync", rank, self.ctx.net.barrier_time())
+        self.ctx.record("sync", rank, wait, name=f"barrier-wait:{tag}")
+        yield self.ctx.charge("sync", rank, self.ctx.net.barrier_time(),
+                              name=f"barrier:{tag}")
 
     # -- allreduce -------------------------------------------------------------
 
@@ -101,8 +181,9 @@ class Collectives:
                   tag: str = "allreduce"):
         """Reduce ``value`` across ranks; returns the reduction everywhere."""
         wait, payloads = yield from self._point(tag).arrive(rank, value)
-        self.ctx.timers.add("sync", rank, wait)
-        yield self.ctx.charge("sync", rank, self.ctx.net.allreduce_time())
+        self.ctx.record("sync", rank, wait, name=f"allreduce-wait:{tag}")
+        yield self.ctx.charge("sync", rank, self.ctx.net.allreduce_time(),
+                              name=f"allreduce:{tag}")
         result = None
         for r in sorted(payloads):
             result = payloads[r] if result is None else op(result, payloads[r])
@@ -110,25 +191,20 @@ class Collectives:
 
     # -- split-phase barrier ----------------------------------------------------
 
+    def _split(self, tag: str) -> "_SplitBarrier":
+        state = self._split_state.get(tag)
+        if state is None:
+            state = _SplitBarrier(self.ctx, tag)
+            self._split_state[tag] = state
+        return state
+
     def split_barrier_enter(self, rank: int, tag: str = "split") -> None:
         """Non-blocking barrier entry (phase 1 of the UPC++ split barrier)."""
-        state = self._split_state.setdefault(
-            tag, {"count": 0, "event": self.ctx.engine.event(f"split-{tag}")}
-        )
-        state["count"] += 1
-        if state["count"] == self.ctx.num_ranks:
-            state["event"].succeed(self.ctx.engine.now)
+        self._split(tag).enter(rank)
 
     def split_barrier_wait(self, rank: int, tag: str = "split"):
         """Phase 2: wait until every rank has entered; wait time is sync."""
-        state = self._split_state.get(tag)
-        if state is None or state["count"] == 0:
-            raise SimulationError(f"split barrier {tag!r} waited before enter")
-        t0 = self.ctx.engine.now
-        if not state["event"].fired:
-            yield state["event"]
-        self.ctx.timers.add("sync", rank, self.ctx.engine.now - t0)
-        yield self.ctx.charge("sync", rank, self.ctx.net.barrier_time())
+        yield from self._split(tag).wait(rank)
 
     # -- irregular all-to-all -----------------------------------------------------
 
@@ -180,7 +256,16 @@ class Collectives:
                 efficiency_scale=efficiency_scale,
             ),
         )
-        self.ctx.timers.add("sync", rank, wait)  # elapsed in rendezvous
-        yield self.ctx.charge("comm", rank, personal)
-        yield self.ctx.charge("sync", rank, duration - personal)
+        self.ctx.record("sync", rank, wait,  # elapsed in rendezvous
+                        name=f"alltoallv-wait:{tag}")
+        yield self.ctx.charge("comm", rank, personal,
+                              name=f"alltoallv:{tag}")
+        yield self.ctx.charge("sync", rank, duration - personal,
+                              name=f"alltoallv-skew:{tag}")
+        metrics = self.ctx.metrics
+        if metrics is not None:
+            metrics.inc("coll_messages", rank,
+                        sum(1 for items in send.values() if items))
+            metrics.inc("bytes_sent", rank, send_bytes)
+            metrics.inc("bytes_recv", rank, recv_bytes)
         return recv_items

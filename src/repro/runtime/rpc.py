@@ -86,6 +86,13 @@ class RpcLayer:
         engine = self.ctx.engine
         issued_at = engine.now
         arrival = engine.now + net.alpha
+        tracer = self.ctx.tracer
+        metrics = self.ctx.metrics
+        if tracer is not None:
+            tracer.instant(caller, "rpc_issue", issued_at, target=target,
+                           token=token)
+        if metrics is not None:
+            metrics.inc("rpc_issued", caller)
 
         # serial service at the target (progress-path clock)
         start = max(arrival, self._busy_until[target])
@@ -99,7 +106,15 @@ class RpcLayer:
         transfer = nbytes / self.ctx.net.async_rank_bw()
         done = start + service + net.alpha + transfer
 
+        if metrics is not None:
+            metrics.inc("rpc_served", target)
+            metrics.inc("rpc_bytes", caller, nbytes)
+
         def deliver(_arg) -> None:
+            if tracer is not None:
+                tracer.instant(caller, "rpc_callback", engine.now,
+                               target=target, token=token, nbytes=nbytes,
+                               latency=engine.now - issued_at)
             self.inboxes[caller].put(
                 RpcResponse(
                     target=target,

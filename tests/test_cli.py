@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _compare_verdict, build_parser, main
 
 
 def test_datasets_command(capsys):
@@ -42,6 +44,45 @@ def test_comm_only_flag(capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "align   0.0%" in out
+
+
+def test_compare_verdict_wording():
+    assert "faster" in _compare_verdict(2.0, 1.0)
+    assert "33.3% slower" in _compare_verdict(1.5, 2.0)
+    assert "+" not in _compare_verdict(1.5, 2.0)
+    assert "tie" in _compare_verdict(1.0, 1.0)
+    # zero wall times (reachable with --comm-only on tiny workloads)
+    # must not divide by zero
+    assert "too small" in _compare_verdict(0.0, 0.0)
+    assert "too small" in _compare_verdict(1.0, 0.0)
+
+
+def test_run_trace_and_metrics(tmp_path, capsys):
+    trace = tmp_path / "t.json"
+    rc = main(["run", "--workload", "micro", "--nodes", "2",
+               "--cores-per-node", "8", "--engine", "async",
+               "--trace", str(trace), "--metrics"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "conservation OK [breakdown]" in out
+    assert "conservation OK [trace]" in out
+    assert "Per-rank counters" in out
+    doc = json.loads(trace.read_text())
+    events = doc["traceEvents"]
+    lanes = {e["tid"] for e in events if e["ph"] == "X"}
+    assert lanes == set(range(16))  # per-rank lanes
+    cats = {e["cat"] for e in events if e["ph"] == "X"}
+    assert {"comm", "sync"} <= cats
+
+
+def test_compare_trace_two_runs(tmp_path, capsys):
+    trace = tmp_path / "cmp.json"
+    rc = main(["compare", "--workload", "micro", "--nodes", "2",
+               "--cores-per-node", "8", "--trace", str(trace)])
+    assert rc == 0
+    doc = json.loads(trace.read_text())
+    pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert pids == {0, 1}  # bsp and async as separate trace processes
 
 
 def test_parser_rejects_unknown():

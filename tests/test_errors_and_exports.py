@@ -13,6 +13,7 @@ def test_exception_hierarchy():
         assert issubclass(exc, errors.ReproError)
     assert issubclass(errors.DeadlockError, errors.SimulationError)
     assert issubclass(errors.MemoryLimitError, errors.SimulationError)
+    assert issubclass(errors.AccountingError, errors.SimulationError)
 
 
 def test_catching_family():
@@ -31,6 +32,8 @@ def test_catching_family():
                         "StatisticalWorkload"]),
     ("repro.engines", ["BSPEngine", "AsyncEngine", "EngineConfig"]),
     ("repro.core", ["get_workload", "run_alignment", "compare_engines"]),
+    ("repro.obs", ["Tracer", "MetricsRegistry", "check_breakdown",
+                   "check_trace", "assert_conserved"]),
     ("repro.perf", ["fig8_ecoli_scaling", "render_table"]),
 ])
 def test_public_exports(module, names):

@@ -1,0 +1,123 @@
+"""Property tests: the time-conservation invariant (hypothesis).
+
+For every engine — macro BSP/Async and micro BSP/Async — across seeds,
+node counts, and execution modes, the four breakdown categories must tile
+the wall clock on every rank, both in the accumulators and in the emitted
+trace.  This is the invariant the paper's stacked bars rest on; the
+property drives the :mod:`repro.obs.conservation` checker end-to-end.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.api import get_workload
+from repro.engines.async_ import AsyncEngine
+from repro.engines.base import EngineConfig
+from repro.engines.bsp import BSPEngine
+from repro.engines.micro import MicroAsyncEngine, MicroBSPEngine
+from repro.errors import AccountingError
+from repro.genome.datasets import DatasetSpec
+from repro.machine.config import cori_knl
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    assert_conserved,
+    check_breakdown,
+    check_trace,
+)
+from repro.pipeline.workload import StatisticalWorkload
+
+MACRO = settings(
+    max_examples=16,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+MICRO = settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def make_wl(seed):
+    spec = DatasetSpec(
+        name="prop-cons", species="synthetic",
+        n_reads=6000, n_tasks=120_000,
+        coverage=15.0, error_rate=0.1,
+        mean_read_length=9000.0, length_sigma=0.3,
+    )
+    return StatisticalWorkload(spec, seed=seed)
+
+
+def _assert_conserves(run_fn, num_ranks):
+    tracer = Tracer()
+    metrics = MetricsRegistry(num_ranks)
+    res = run_fn(tracer, metrics)
+    breakdown_report = check_breakdown(res.breakdown)
+    trace_report = check_trace(tracer, res.wall_time, num_ranks)
+    assert breakdown_report.ok, breakdown_report.describe()
+    assert trace_report.ok, trace_report.describe()
+    # and the trace is non-trivial: it actually observed phase activity
+    assert tracer.phase_events()
+    return res
+
+
+@MACRO
+@given(
+    engine_cls=st.sampled_from([BSPEngine, AsyncEngine]),
+    nodes=st.sampled_from([1, 4, 16]),
+    seed=st.integers(min_value=0, max_value=7),
+    comm_only=st.booleans(),
+)
+def test_macro_conservation(engine_cls, nodes, seed, comm_only):
+    machine = cori_knl(nodes, app_cores_per_node=4)
+    wl = make_wl(seed)
+    config = EngineConfig(seed=seed)
+    if comm_only:
+        config = config.comm_only()
+    assignment = wl.assignment(machine.total_ranks)
+    _assert_conserves(
+        lambda tr, mr: engine_cls(config=config).run(
+            assignment, machine, tracer=tr, metrics=mr
+        ),
+        machine.total_ranks,
+    )
+
+
+@MICRO
+@given(
+    engine_cls=st.sampled_from([MicroBSPEngine, MicroAsyncEngine]),
+    nodes=st.sampled_from([1, 2]),
+    seed=st.integers(min_value=0, max_value=3),
+    comm_only=st.booleans(),
+)
+def test_micro_conservation(engine_cls, nodes, seed, comm_only):
+    # the workload is cached per (name, seed); engine randomness varies
+    # through the config seed (noise model) and the mode
+    wl = get_workload("micro", seed=0)
+    machine = cori_knl(nodes, app_cores_per_node=4)
+    config = EngineConfig(seed=seed)
+    if comm_only:
+        config = config.comm_only()
+    res = _assert_conserves(
+        lambda tr, mr: engine_cls(config=config).run(
+            wl, machine, tracer=tr, metrics=mr
+        ),
+        machine.total_ranks,
+    )
+    assert res.wall_time > 0
+
+
+def test_conservation_checker_rejects_drift():
+    """The property above is meaningful: breaking accounting is detected."""
+    machine = cori_knl(1, app_cores_per_node=4)
+    wl = make_wl(0)
+    tracer = Tracer()
+    res = BSPEngine(config=EngineConfig()).run(
+        wl.assignment(machine.total_ranks), machine, tracer=tracer
+    )
+    # claim a longer wall than the phases account for
+    bad = check_trace(tracer, res.wall_time * 1.5, machine.total_ranks)
+    assert not bad.ok
+    with pytest.raises(AccountingError):
+        assert_conserved(bad)

@@ -118,6 +118,82 @@ def test_split_barrier_wait_before_enter():
         ctx.engine.run()
 
 
+def test_split_barrier_tag_reuse_synchronizes():
+    """A reused tag must synchronize again (regression test).
+
+    Historically the split-barrier state was never reset after firing, so
+    the second barrier on the same tag — e.g. the default ``"split"``
+    across two supersteps, or two runs sharing one :class:`Collectives` —
+    completed immediately without waiting for anyone.
+    """
+    ctx = make_ctx(4)
+    coll = Collectives(ctx)
+    exits = {}
+
+    def rank_main(rank):
+        coll.split_barrier_enter(rank)
+        yield 0.1
+        yield from coll.split_barrier_wait(rank)
+        # second cycle on the same (default) tag, arrivals staggered by rank
+        yield 2.0 * rank
+        coll.split_barrier_enter(rank)
+        yield 0.01
+        yield from coll.split_barrier_wait(rank)
+        exits[rank] = ctx.engine.now
+
+    ctx.engine.spawn_all(rank_main(r) for r in range(4))
+    ctx.engine.run()
+    times = np.array([exits[r] for r in range(4)])
+    # nobody passes the second wait before rank 3 enters ~6s after the
+    # first barrier (the buggy no-op barrier released everyone at ~0.1s)
+    assert times.min() >= 6.0
+    # early ranks' long waits were charged as synchronization
+    sync = ctx.timers.get("sync")
+    assert sync[0] > sync[3]
+
+
+def test_split_barrier_reenter_before_wait_raises():
+    ctx = make_ctx(2)
+    coll = Collectives(ctx)
+
+    def bad(rank):
+        coll.split_barrier_enter(rank)
+        coll.split_barrier_enter(rank)  # over-entry: no wait in between
+        yield 0.0
+
+    ctx.engine.process(bad(0))
+    with pytest.raises(SimulationError):
+        ctx.engine.run()
+
+
+def test_split_barrier_laggard_waits_on_its_own_generation():
+    """A rank may still wait on generation g after faster ranks begin g+1."""
+    ctx = make_ctx(2)
+    coll = Collectives(ctx)
+    waited = {}
+
+    def fast(rank):
+        coll.split_barrier_enter(rank)
+        yield from coll.split_barrier_wait(rank)
+        coll.split_barrier_enter(rank)  # already into generation 1
+        yield 1.0
+        yield from coll.split_barrier_wait(rank)
+        waited[rank] = ctx.engine.now
+
+    def slow(rank):
+        coll.split_barrier_enter(rank)
+        yield 5.0  # generation 0 fired long ago; wait must still return
+        yield from coll.split_barrier_wait(rank)
+        coll.split_barrier_enter(rank)
+        yield from coll.split_barrier_wait(rank)
+        waited[rank] = ctx.engine.now
+
+    ctx.engine.process(fast(0))
+    ctx.engine.process(slow(1))
+    ctx.engine.run()
+    assert waited[0] == pytest.approx(waited[1])
+
+
 def test_alltoallv_delivers_payloads():
     ctx = make_ctx(4)
     coll = Collectives(ctx)
