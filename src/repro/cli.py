@@ -31,6 +31,8 @@ from repro.core.api import (
     scaling_sweep,
 )
 from repro.engines.base import EngineConfig
+from repro.errors import ConfigurationError, FaultError
+from repro.faults import parse_fault_spec
 from repro.genome.datasets import DATASETS
 from repro.obs import MetricsRegistry, Tracer, check_breakdown, check_trace
 from repro.perf.format import render_breakdown_rows, render_table
@@ -60,13 +62,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--metrics", action="store_true",
                        help="print per-rank counter rollups after the run")
 
+    def fault_args(p):
+        p.add_argument("--faults", metavar="SPEC", default=None,
+                       help="inject faults, e.g. "
+                            "'drop=0.05,straggle=2@r1:0:1,kill=r3@0.5' "
+                            "(see docs/RESILIENCE.md for the grammar)")
+        p.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for the deterministic fault realization")
+
     p_run = sub.add_parser("run", help="run one engine")
     common(p_run)
+    fault_args(p_run)
     p_run.add_argument("--nodes", type=int, default=4)
     p_run.add_argument("--engine", default="bsp", choices=["bsp", "async"])
 
     p_cmp = sub.add_parser("compare", help="run both engines side by side")
     common(p_cmp)
+    fault_args(p_cmp)
     p_cmp.add_argument("--nodes", type=int, default=4)
 
     p_sweep = sub.add_parser("sweep", help="strong-scaling sweep")
@@ -161,8 +173,48 @@ def _print_result(name: str, res) -> None:
           f"mem/core {fmt_bytes(res.max_memory_per_rank)}")
 
 
+def _fault_detail_bits(details: dict) -> list[str]:
+    """Fault-path numbers worth a column in the degradation report."""
+    bits = []
+    for key, label in (("rpc_retries", "rpc_retries"),
+                       ("exchange_retries", "xchg_retries"),
+                       ("tasks_redistributed", "tasks_moved"),
+                       ("ranks_lost", "ranks_lost")):
+        val = details.get(key)
+        if val:
+            if key == "tasks_redistributed":
+                bits.append(f"{label}={val:.0f}")
+            elif key == "ranks_lost":
+                bits.append(f"{label}={','.join(str(r) for r in val)}")
+            else:
+                bits.append(f"{label}={val}")
+    return bits
+
+
+def _degradation_section(clean: dict, faulty: dict, plan) -> None:
+    """How much wall clock each engine lost to the injected faults."""
+    print(f"Degradation under faults ({plan.describe()}):")
+    for name in ("bsp", "async"):
+        c = clean[name].wall_time
+        f = faulty[name].wall_time
+        inflation = (f"{100 * (f / c - 1):+.1f}%" if c > 0 else "n/a")
+        d = faulty[name].details
+        bits = [f"faults={d.get('faults_injected', 0)}"]
+        bits += _fault_detail_bits(d)
+        print(f"  {name:6s} wall {fmt_time(c):>10} -> {fmt_time(f):>10}  "
+              f"({inflation})  " + "  ".join(bits))
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    fault_plan = None
+    if getattr(args, "faults", None):
+        try:
+            fault_plan = parse_fault_spec(args.faults)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.command == "datasets":
         rows = [
@@ -182,22 +234,47 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "run":
         tracer, metrics = _observability(args)
-        res = run_alignment(workload, args.nodes, args.engine,
-                            config=_config(args),
-                            cores_per_node=args.cores_per_node,
-                            tracer=tracer, metrics=metrics)
+        try:
+            res = run_alignment(workload, args.nodes, args.engine,
+                                config=_config(args),
+                                cores_per_node=args.cores_per_node,
+                                tracer=tracer, metrics=metrics,
+                                fault_plan=fault_plan,
+                                fault_seed=args.fault_seed)
+        except FaultError as exc:
+            print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+            return 1
         _print_result(args.engine, res)
+        if fault_plan is not None:
+            bits = [f"faults={res.details.get('faults_injected', 0)}"]
+            bits += _fault_detail_bits(res.details)
+            print(f"fault report ({fault_plan.describe()}): "
+                  + "  ".join(bits))
         return _finish_observability(args, tracer, metrics, [res])
 
     if args.command == "compare":
         tracer, metrics = _observability(args)
-        results = compare_engines(workload, args.nodes, config=_config(args),
-                                  cores_per_node=args.cores_per_node,
-                                  tracer=tracer, metrics=metrics)
+        try:
+            results = compare_engines(workload, args.nodes,
+                                      config=_config(args),
+                                      cores_per_node=args.cores_per_node,
+                                      tracer=tracer, metrics=metrics,
+                                      fault_plan=fault_plan,
+                                      fault_seed=args.fault_seed)
+        except FaultError as exc:
+            print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+            return 1
         for name, res in results.items():
             _print_result(name, res)
         print(_compare_verdict(results["bsp"].wall_time,
                                results["async"].wall_time))
+        if fault_plan is not None:
+            # fault-free reference runs (same workload/config, no injector):
+            # the spread between the two columns is the degradation story
+            clean = compare_engines(workload, args.nodes,
+                                    config=_config(args),
+                                    cores_per_node=args.cores_per_node)
+            _degradation_section(clean, results, fault_plan)
         return _finish_observability(args, tracer, metrics,
                                      [results["bsp"], results["async"]])
 

@@ -87,6 +87,8 @@ def run_alignment(
     machine: MachineSpec | None = None,
     tracer: "Tracer | None" = None,
     metrics: "MetricsRegistry | None" = None,
+    fault_plan=None,
+    fault_seed: int = 0,
 ) -> RunResult:
     """Simulate one engine processing a workload on a machine allocation.
 
@@ -95,6 +97,11 @@ def run_alignment(
     per run) and rolls per-rank counters into the registry.  When no tracer
     is passed, the engine falls back to the ambient default tracer, if one
     is installed via :func:`repro.obs.set_default_tracer`.
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) subjects the run to
+    injected faults, realized deterministically from ``fault_seed`` by a
+    fresh :class:`repro.faults.FaultInjector` — fault randomness never
+    touches the workload/noise streams (see docs/RESILIENCE.md).
     """
     engine_cls = ENGINES.get(approach)
     if engine_cls is None:
@@ -104,7 +111,13 @@ def run_alignment(
     machine = machine or make_machine(nodes, cores_per_node)
     engine = engine_cls(config=config or EngineConfig())
     assignment = workload.assignment(machine.total_ranks)
-    return engine.run(assignment, machine, tracer=tracer, metrics=metrics)
+    faults = None
+    if fault_plan is not None:
+        from repro.faults import FaultInjector
+
+        faults = FaultInjector(fault_plan, fault_seed)
+    return engine.run(assignment, machine, tracer=tracer, metrics=metrics,
+                      faults=faults)
 
 
 def compare_engines(
@@ -114,15 +127,20 @@ def compare_engines(
     cores_per_node: int = 64,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    fault_plan=None,
+    fault_seed: int = 0,
 ) -> dict[str, RunResult]:
     """Run both approaches on identical fixed inputs (the paper's method).
 
     With a tracer attached, both runs land in one trace as separate
-    Chrome "processes" — a side-by-side timeline in Perfetto.
+    Chrome "processes" — a side-by-side timeline in Perfetto.  With a
+    ``fault_plan``, each engine gets its own injector built from the same
+    plan and seed — identical bad luck for both codes.
     """
     return {
         name: run_alignment(workload, nodes, name, config, cores_per_node,
-                            tracer=tracer, metrics=metrics)
+                            tracer=tracer, metrics=metrics,
+                            fault_plan=fault_plan, fault_seed=fault_seed)
         for name in ("bsp", "async")
     }
 

@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.engines.base import EngineConfig, ExecutionMode
 from repro.engines.report import PhaseTimers, RunResult, RuntimeBreakdown
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RankFailureError
 from repro.machine.config import MachineSpec
 from repro.machine.network import NetworkModel
 from repro.machine.noise import NoiseModel
@@ -64,7 +64,8 @@ class AsyncEngine:
     def run(self, assignment: WorkloadAssignment,
             machine: MachineSpec,
             tracer: Tracer | None = None,
-            metrics: MetricsRegistry | None = None) -> RunResult:
+            metrics: MetricsRegistry | None = None,
+            faults=None) -> RunResult:
         if assignment.num_ranks != machine.total_ranks:
             raise ConfigurationError(
                 f"assignment is for {assignment.num_ranks} ranks but machine "
@@ -102,15 +103,7 @@ class AsyncEngine:
         overhead_pre = 0.5 * overhead
         overhead_cb = overhead - overhead_pre
 
-        # --- phase A: local-pair compute overlapped with split barrier ---
         bar = net.barrier_time()
-        phase_a_busy = local_compute + overhead_pre
-        phase_a_end = np.maximum(phase_a_busy, bar)
-        timers.add_array("compute_align", local_compute)
-        timers.add_array("compute_overhead", overhead_pre)
-        timers.add_array("sync", phase_a_end - phase_a_busy)
-
-        # --- phase B: pull remote reads, compute from callbacks ---
         # aggregation coalesces `k` pulls into one message (same bytes,
         # fewer per-message costs and a shallower service queue)
         agg = float(self.config.async_aggregation)
@@ -123,13 +116,126 @@ class AsyncEngine:
             )
             for i in range(P)
         ])
+
+        # --- fault adjustments (analytic; see docs/RESILIENCE.md) ---
+        fault_stall = np.zeros(P)
+        retry_counts = np.zeros(P)
+        tasks_redistributed = 0.0
+        redist_counts = np.zeros(P)
+        ranks_lost: list[int] = []
+        if faults is not None:
+            plan = faults.plan
+            # fault-free horizon: where each rank *would* finish — places
+            # degradation windows and kills on this analytic timeline
+            busy0 = remote_compute + overhead_cb
+            visible0 = np.maximum(
+                comm - busy0, self.config.async_min_visible * comm
+            )
+            finish0 = (
+                np.maximum(local_compute + overhead_pre, bar)
+                + busy0 + visible0
+            )
+            wall0 = float(finish0.max(initial=0.0)) + bar
+
+            # stragglers dilate every busy second inside their windows
+            straggle = np.array([
+                faults.mean_straggle_factor(i, 0.0, float(finish0[i]))
+                for i in range(P)
+            ])
+            local_compute = local_compute * straggle
+            remote_compute = remote_compute * straggle
+            overhead_pre = overhead_pre * straggle
+            overhead_cb = overhead_cb * straggle
+
+            # degraded links dilate the pull traffic
+            comm = comm * faults.mean_link_dilation(0.0, wall0)
+
+            # message faults: a dropped pull stalls its caller for the
+            # timeout plus the first backoff before the retry lands; a
+            # delayed pull stalls for the injected delay — pure visible
+            # latency, compute cannot hide a response that never came
+            timeout = (plan.rpc_timeout if plan.rpc_timeout is not None
+                       else net.suggested_rpc_timeout())
+            backoff = (plan.rpc_backoff if plan.rpc_backoff is not None
+                       else 10.0 * machine.network.rtt)
+            for i in range(P):
+                n_calls = int(np.ceil(float(assignment.lookups[i]) / agg))
+                drops, delays, dups = faults.rank_rpc_fault_counts(i, n_calls)
+                fault_stall[i] = (
+                    drops * (timeout + backoff)
+                    + delays * plan.delay_seconds
+                )
+                retry_counts[i] = drops
+                injected = drops + delays + dups
+                if metrics is not None:
+                    if drops:
+                        metrics.inc("rpc_retries", i, drops)
+                    if injected:
+                        metrics.inc("faults_injected", i, injected)
+                if tracer is not None and injected:
+                    tracer.instant(i, "fault_inject", 0.0, kind="rpc_macro",
+                                   drops=drops, delays=delays, dups=dups)
+
+            # rank deaths: the killed rank stops at its death time; the
+            # survivors absorb its unfinished work as extra callback-phase
+            # compute and pull traffic
+            alive = np.ones(P, dtype=bool)
+            for kill in sorted(plan.kills, key=lambda k: (k.time, k.rank)):
+                if kill.time >= wall0 or not alive[kill.rank]:
+                    continue
+                if not plan.redistribute:
+                    raise RankFailureError(
+                        f"rank {kill.rank} died at t={kill.time:.6g}s during "
+                        f"the async pull phase; add 'redistribute' to the "
+                        f"fault plan for graceful degradation"
+                    )
+                d = kill.rank
+                alive[d] = False
+                ranks_lost.append(d)
+                faults.note_kill(d)
+                if not alive.any():
+                    raise RankFailureError(
+                        "every rank died before the run finished; nothing "
+                        "left to redistribute to"
+                    )
+                if tracer is not None:
+                    tracer.instant(ENGINE_LANE, "fault_inject", kill.time,
+                                   kind="rank_kill", victim=d)
+                if metrics is not None:
+                    metrics.inc("faults_injected", d)
+                done = (min(1.0, kill.time / float(finish0[d]))
+                        if finish0[d] > 0 else 1.0)
+                n_alive = int(alive.sum())
+                # unfinished local pairs are redone remotely by survivors
+                lost_align = (1.0 - done) * (local_compute[d]
+                                             + remote_compute[d])
+                lost_oh = (1.0 - done) * (overhead_pre[d] + overhead_cb[d])
+                lost_comm = (1.0 - done) * (comm[d] + fault_stall[d])
+                for arr in (local_compute, remote_compute, overhead_pre,
+                            overhead_cb, comm, fault_stall):
+                    arr[d] = arr[d] * done
+                remote_compute[alive] += lost_align / n_alive
+                overhead_cb[alive] += lost_oh / n_alive
+                comm[alive] += lost_comm / n_alive
+                moved = (1.0 - done) * float(assignment.tasks_per_rank[d])
+                tasks_redistributed += moved
+                redist_counts[alive] += moved / n_alive
+
+        # --- phase A: local-pair compute overlapped with split barrier ---
+        phase_a_busy = local_compute + overhead_pre
+        phase_a_end = np.maximum(phase_a_busy, bar)
+        timers.add_array("compute_align", local_compute)
+        timers.add_array("compute_overhead", overhead_pre)
+        timers.add_array("sync", phase_a_end - phase_a_busy)
+
+        # --- phase B: pull remote reads, compute from callbacks ---
         busy = remote_compute + overhead_cb
         # even abundant computation cannot hide everything: callbacks bunch
         # between application-level polls (§3.2), leaving a floor of
         # visible latency
         visible_comm = np.maximum(
             comm - busy, self.config.async_min_visible * comm
-        )
+        ) + fault_stall
         phase_b = busy + visible_comm
         timers.add_array("compute_align", remote_compute)
         timers.add_array("compute_overhead", overhead_cb)
@@ -188,6 +294,8 @@ class AsyncEngine:
             metrics.add_array("rpc_issued",
                               np.ceil(assignment.lookups / agg))
             metrics.add_array("rpc_bytes", assignment.lookup_bytes)
+            if faults is not None and tasks_redistributed:
+                metrics.add_array("tasks_redistributed", redist_counts)
 
         avg_read = (
             assignment.lookup_bytes.sum() / assignment.lookups.sum()
@@ -200,12 +308,21 @@ class AsyncEngine:
             + assignment.tasks_per_rank * ASYNC_TASK_RECORD_BYTES
             + self.config.async_window * avg_read  # in-flight reads only
         )
+        details = {
+            "hidden_comm": float(np.minimum(comm, busy).sum()),
+            "raw_comm": comm,
+        }
+        if faults is not None:
+            details["fault_plan"] = faults.plan.describe()
+            details["faults_injected"] = faults.total_injected
+            details["fault_kinds"] = dict(faults.injected)
+            details["rpc_retries"] = int(retry_counts.sum())
+            details["rpc_stall_total"] = float(fault_stall.sum())
+            details["tasks_redistributed"] = tasks_redistributed
+            details["ranks_lost"] = ranks_lost
         return RunResult(
             breakdown=breakdown,
             memory_high_water=memory,
             exchange_rounds=0,
-            details={
-                "hidden_comm": float(np.minimum(comm, busy).sum()),
-                "raw_comm": comm,
-            },
+            details=details,
         )

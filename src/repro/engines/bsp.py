@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.engines.base import EngineConfig, ExecutionMode
 from repro.engines.report import PhaseTimers, RunResult, RuntimeBreakdown
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RankFailureError
 from repro.machine.config import MachineSpec
 from repro.machine.network import NetworkModel
 from repro.machine.noise import NoiseModel
@@ -89,7 +89,8 @@ class BSPEngine:
     def run(self, assignment: WorkloadAssignment,
             machine: MachineSpec,
             tracer: Tracer | None = None,
-            metrics: MetricsRegistry | None = None) -> RunResult:
+            metrics: MetricsRegistry | None = None,
+            faults=None) -> RunResult:
         if assignment.num_ranks != machine.total_ranks:
             raise ConfigurationError(
                 f"assignment is for {assignment.num_ranks} ranks but machine "
@@ -125,11 +126,62 @@ class BSPEngine:
         factors = noise.factors(P)
         wall = 0.0
         exchange_total = 0.0
+        # fault bookkeeping: survivors absorb dead ranks' per-round quotas
+        alive = np.ones(P, dtype=bool)
+        ranks_lost: list[int] = []
+        tasks_redistributed = 0.0
+        redist_counts = np.zeros(P)
+        retry_counts = np.zeros(P)
         for r in range(rounds):
             t0 = wall  # superstep start
+            if tracer is not None:
+                tracer.instant(ENGINE_LANE, "superstep", t0,
+                               round=r, rounds=rounds)
+            if faults is not None:
+                for kill in faults.plan.kills:
+                    if not (alive[kill.rank] and kill.time <= t0):
+                        continue
+                    if not faults.plan.redistribute:
+                        raise RankFailureError(
+                            f"rank {kill.rank} died at t={kill.time:.6g}s "
+                            f"before BSP round {r}; add 'redistribute' to "
+                            f"the fault plan for graceful degradation"
+                        )
+                    alive[kill.rank] = False
+                    ranks_lost.append(kill.rank)
+                    faults.note_kill(kill.rank)
+                    if tracer is not None:
+                        tracer.instant(ENGINE_LANE, "fault_inject", t0,
+                                       kind="rank_kill", victim=kill.rank,
+                                       round=r)
+                    if metrics is not None:
+                        metrics.inc("faults_injected", kill.rank)
+                if not alive.any():
+                    raise RankFailureError(
+                        "every rank died before the run finished; nothing "
+                        "left to redistribute to"
+                    )
+            n_alive = int(alive.sum())
+
+            def spread(x: np.ndarray) -> np.ndarray:
+                """This round's per-rank quota of x, dead ranks' share
+                redistributed equally over the survivors."""
+                xr = x / rounds
+                if n_alive == P:
+                    return xr
+                lost = float(xr[~alive].sum())
+                return np.where(alive, xr + lost / n_alive, 0.0)
+
+            round_send = spread(send)
+            round_recv = spread(recv)
+            if n_alive < P:
+                moved = float(
+                    (assignment.tasks_per_rank / rounds)[~alive].sum()
+                )
+                tasks_redistributed += moved
+                redist_counts[alive] += moved / n_alive
+
             # --- exchange phase (blocking collective) ---
-            round_send = send / rounds
-            round_recv = recv / rounds
             # a rank exchanges with roughly the same peer set every round;
             # splitting volume across rounds shrinks per-source messages
             round_sources = avg_sources
@@ -147,39 +199,68 @@ class BSPEngine:
                 )
                 for i in range(P)
             ])
+            if faults is not None:
+                # degraded links dilate the whole exchange window
+                dil = faults.mean_link_dilation(t0, t0 + duration)
+                duration *= dil
+                personal *= dil
             personal = np.minimum(personal, duration)
-            timers.add_array("comm", personal)
-            timers.add_array("sync", duration - personal)
-            wall += duration
-            exchange_total += duration
+            comm_round = np.where(alive, personal, 0.0)
+
+            attempts = faults.exchange_attempts(r) if faults is not None else 1
+            for a in range(attempts):
+                ta = wall
+                timers.add_array("comm", comm_round)
+                timers.add_array("sync", duration - comm_round)
+                wall += duration
+                exchange_total += duration
+                retried = a < attempts - 1
+                if retried:
+                    retry_counts[alive] += 1
+                    if metrics is not None:
+                        for i in np.flatnonzero(alive):
+                            metrics.inc("exchange_retries", int(i))
+                if tracer is not None:
+                    if retried:
+                        tracer.instant(ENGINE_LANE, "exchange_retry", ta,
+                                       round=r, attempt=a + 1)
+                    label = (f"exchange[{r}]!a{a}" if retried
+                             else f"exchange[{r}]")
+                    for i in range(P):
+                        p_comm = float(comm_round[i])
+                        if p_comm > 0:
+                            tracer.phase(i, "comm", ta, p_comm, name=label)
+                        if duration - p_comm > 0:
+                            tracer.phase(i, "sync", ta + p_comm,
+                                         duration - p_comm,
+                                         name=f"exchange-skew[{r}]")
 
             # --- compute phase (ends at the slowest rank) ---
-            phase = factors * (compute + overhead) / rounds
+            tc = wall
+            align_part = factors * spread(compute)
+            phase = align_part + factors * spread(overhead)
+            if faults is not None:
+                # stragglers dilate busy time inside their windows
+                straggle = np.array([
+                    faults.mean_straggle_factor(i, tc, tc + float(phase[i]))
+                    if alive[i] else 1.0
+                    for i in range(P)
+                ])
+                align_part = align_part * straggle
+                phase = phase * straggle
             phase_end = float(phase.max(initial=0.0))
-            align_part = factors * compute / rounds
-            if not comm_only:
-                timers.add_array("compute_align", align_part)
-            timers.add_array(
-                "compute_overhead",
-                phase - (align_part if not comm_only else 0.0),
-            )
+            timers.add_array("compute_align", align_part)
+            timers.add_array("compute_overhead", phase - align_part)
             timers.add_array("sync", phase_end - phase)
             wall += phase_end
 
             if tracer is not None:
-                tracer.instant(ENGINE_LANE, "superstep", t0,
-                               round=r, rounds=rounds)
-                tc = t0 + duration  # compute phase start
                 for i in range(P):
-                    p_comm = float(personal[i])
-                    a = 0.0 if comm_only else float(align_part[i])
-                    o = float(phase[i]) - a
+                    a_ = float(align_part[i])
+                    o = float(phase[i]) - a_
                     for cat, start, dur, label in (
-                        ("comm", t0, p_comm, f"exchange[{r}]"),
-                        ("sync", t0 + p_comm, duration - p_comm,
-                         f"exchange-skew[{r}]"),
-                        ("compute_align", tc, a, f"align[{r}]"),
-                        ("compute_overhead", tc + a, o, f"overhead[{r}]"),
+                        ("compute_align", tc, a_, f"align[{r}]"),
+                        ("compute_overhead", tc + a_, o, f"overhead[{r}]"),
                         ("sync", tc + float(phase[i]),
                          phase_end - float(phase[i]), f"compute-wait[{r}]"),
                     ):
@@ -193,6 +274,29 @@ class BSPEngine:
             for i in range(P):
                 tracer.phase(i, "sync", wall, bar, name="exit-barrier")
         wall += bar
+
+        # deaths inside the final superstep surface at the exit barrier:
+        # the rank's last contribution already merged, so in redistribute
+        # mode there is nothing left to redo — the run just records the loss
+        if faults is not None:
+            for kill in faults.plan.kills:
+                if not (alive[kill.rank] and kill.time < wall):
+                    continue
+                if not faults.plan.redistribute:
+                    raise RankFailureError(
+                        f"rank {kill.rank} died at t={kill.time:.6g}s during "
+                        f"the final superstep (detected at the exit "
+                        f"barrier); add 'redistribute' to the fault plan "
+                        f"for graceful degradation"
+                    )
+                alive[kill.rank] = False
+                ranks_lost.append(kill.rank)
+                faults.note_kill(kill.rank)
+                if tracer is not None:
+                    tracer.instant(ENGINE_LANE, "fault_inject", kill.time,
+                                   kind="rank_kill", victim=kill.rank)
+                if metrics is not None:
+                    metrics.inc("faults_injected", kill.rank)
 
         breakdown = RuntimeBreakdown(
             engine=self.name,
@@ -213,6 +317,8 @@ class BSPEngine:
             metrics.add_array("lookups", assignment.lookups)
             metrics.add_array("bytes_sent", send)
             metrics.add_array("bytes_recv", recv)
+            if faults is not None and tasks_redistributed:
+                metrics.add_array("tasks_redistributed", redist_counts)
 
         memory = (
             RUNTIME_BASE_MEMORY
@@ -220,13 +326,21 @@ class BSPEngine:
             + assignment.tasks_per_rank * BSP_TASK_RECORD_BYTES
             + (recv + send) / rounds  # receive buffer + send staging
         )
+        details = {
+            "exchange_budget": self.exchange_budget(machine, assignment),
+            "avg_sources": avg_sources,
+            "exchange_time_total": exchange_total,
+        }
+        if faults is not None:
+            details["fault_plan"] = faults.plan.describe()
+            details["faults_injected"] = faults.total_injected
+            details["fault_kinds"] = dict(faults.injected)
+            details["exchange_retries"] = int(retry_counts.max(initial=0.0))
+            details["tasks_redistributed"] = tasks_redistributed
+            details["ranks_lost"] = ranks_lost
         return RunResult(
             breakdown=breakdown,
             memory_high_water=memory,
             exchange_rounds=rounds,
-            details={
-                "exchange_budget": self.exchange_budget(machine, assignment),
-                "avg_sources": avg_sources,
-                "exchange_time_total": exchange_total,
-            },
+            details=details,
         )

@@ -30,7 +30,7 @@ from repro.engines.bsp import (
     RUNTIME_BASE_MEMORY as BSP_BASE_MEMORY,
 )
 from repro.engines.report import RunResult, RuntimeBreakdown
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RankFailureError
 from repro.machine.config import MachineSpec
 from repro.obs import (
     MetricsRegistry,
@@ -62,7 +62,8 @@ class _MicroBase:
 
     def _prepare(self, workload: ConcreteWorkload, machine: MachineSpec,
                  tracer: Tracer | None = None,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 faults=None):
         P = machine.total_ranks
         if P > 4096:
             raise ConfigurationError(
@@ -75,9 +76,34 @@ class _MicroBase:
                 f"{self.name} {workload.name} nodes={machine.nodes} P={P}"
             )
         plan = workload.micro_plan(P)
-        ctx = SpmdContext(machine, tracer=tracer, metrics=metrics)
+        ctx = SpmdContext(machine, tracer=tracer, metrics=metrics,
+                          faults=faults)
         rank_tasks = _rank_task_lists(plan, P)
         return plan, ctx, rank_tasks
+
+    def _check_deaths(self, ctx: SpmdContext) -> None:
+        """Abort with a typed error once any rank's death time has passed.
+
+        The micro engines are faithful SPMD programs without a work-stealing
+        layer, so a dead rank cannot hand its tasks off; graceful
+        redistribution is a macro-engine capability.
+        """
+        faults = ctx.faults
+        if faults is None:
+            return
+        kill = faults.first_death_before(ctx.engine.now)
+        if kill is not None:
+            raise RankFailureError(
+                f"rank {kill.rank} died at t={kill.time:.6g}s; micro "
+                f"engines cannot redistribute work (use a macro engine "
+                f"with 'redistribute' for graceful degradation)"
+            )
+
+    def _dilated(self, ctx: SpmdContext, rank: int, seconds: float) -> float:
+        """Apply any active straggler window to a compute duration."""
+        if ctx.faults is None or seconds == 0.0:
+            return seconds
+        return seconds * ctx.faults.straggle_factor(rank, ctx.engine.now)
 
     def _task_compute(self, workload, task_idx, aligner):
         """(simulated seconds, alignment or None) for one task."""
@@ -100,12 +126,18 @@ class _MicroBase:
         return cost, alignment
 
     def _finish(self, name, workload, machine, ctx, memory, rounds, alignments,
-                details=None):
+                details=None, wall_time=None):
+        if wall_time is None:
+            wall_time = ctx.engine.now
+        details = dict(details or {})
+        if ctx.faults is not None:
+            details["faults_injected"] = ctx.faults.total_injected
+            details["fault_kinds"] = dict(ctx.faults.injected)
         breakdown = RuntimeBreakdown(
             engine=name,
             machine=machine,
             workload=workload.name,
-            wall_time=ctx.engine.now,
+            wall_time=wall_time,
             compute_align=ctx.timers.get("compute_align"),
             compute_overhead=ctx.timers.get("compute_overhead"),
             comm=ctx.timers.get("comm"),
@@ -124,7 +156,7 @@ class _MicroBase:
             memory_high_water=memory,
             exchange_rounds=rounds,
             alignments=alignments,
-            details=details or {},
+            details=details,
         )
 
 
@@ -137,10 +169,11 @@ class MicroBSPEngine(_MicroBase):
     def run(self, workload: ConcreteWorkload, machine: MachineSpec,
             kernel: str = "model",
             tracer: Tracer | None = None,
-            metrics: MetricsRegistry | None = None) -> RunResult:
+            metrics: MetricsRegistry | None = None,
+            faults=None) -> RunResult:
         P = machine.total_ranks
         plan, ctx, rank_tasks = self._prepare(workload, machine,
-                                              tracer, metrics)
+                                              tracer, metrics, faults)
         coll = Collectives(ctx)
         aligner = SeedExtendAligner() if kernel == "real" else None
         lengths = workload.read_lengths
@@ -163,6 +196,7 @@ class MicroBSPEngine(_MicroBase):
                 need[int(owner)].setdefault(r, []).append(int(read_id))
 
         alignments: list = []
+        finish_times: dict[int, float] = {}
 
         def rank_main(rank: int):
             tasks = rank_tasks[rank]
@@ -170,6 +204,7 @@ class MicroBSPEngine(_MicroBase):
             local_tasks = tasks[remote < 0]
 
             for rnd in range(rounds):
+                self._check_deaths(ctx)
                 if ctx.tracer is not None:
                     ctx.tracer.instant(rank, "superstep", ctx.engine.now,
                                        round=rnd, rounds=rounds)
@@ -183,10 +218,11 @@ class MicroBSPEngine(_MicroBase):
                     if items:
                         send[dst] = items
                 send_bytes = sum(b for items in send.values() for _, b in items)
-                received = yield from coll.alltoallv(
-                    rank, send, send_bytes, tag=f"xchg{rnd}",
+                received = yield from coll.alltoallv_resilient(
+                    rank, send, send_bytes, round_idx=rnd, tag=f"xchg{rnd}",
                     efficiency_scale=eff_scale,
                 )
+                self._check_deaths(ctx)
                 got = {rid for rid, _ in received}
                 ctx.memory.allocate(rank, f"recv{rnd}",
                                     sum(b for _, b in received))
@@ -201,6 +237,7 @@ class MicroBSPEngine(_MicroBase):
                         todo.append(int(t))
                 for t in todo:
                     seconds, alignment = self._task_compute(workload, t, aligner)
+                    seconds = self._dilated(ctx, rank, seconds)
                     if seconds:
                         yield ctx.charge("compute_align", rank, seconds,
                                          name=f"task{t}")
@@ -208,15 +245,17 @@ class MicroBSPEngine(_MicroBase):
                     if alignment is not None:
                         ctx.metrics.inc("cells", rank, alignment.cells)
                         alignments.append(alignment)
-                oh = (
+                oh = self._dilated(ctx, rank, (
                     len(todo) * self.config.bsp_task_overhead
                     + len(got) * self.config.bsp_read_overhead * internode
-                )
+                ))
                 if oh:
                     yield ctx.charge("compute_overhead", rank, oh)
                 ctx.memory.free(rank, f"recv{rnd}")
 
             yield from coll.barrier(rank, tag="exit")
+            self._check_deaths(ctx)
+            finish_times[rank] = ctx.engine.now
 
         for rank in range(P):
             ctx.memory.allocate(
@@ -231,6 +270,7 @@ class MicroBSPEngine(_MicroBase):
             self.name, workload, machine, ctx,
             ctx.memory.rank_high_water(), rounds,
             alignments if kernel == "real" else None,
+            wall_time=max(finish_times.values(), default=ctx.engine.now),
         )
 
 
@@ -243,10 +283,11 @@ class MicroAsyncEngine(_MicroBase):
     def run(self, workload: ConcreteWorkload, machine: MachineSpec,
             kernel: str = "model",
             tracer: Tracer | None = None,
-            metrics: MetricsRegistry | None = None) -> RunResult:
+            metrics: MetricsRegistry | None = None,
+            faults=None) -> RunResult:
         P = machine.total_ranks
         plan, ctx, rank_tasks = self._prepare(workload, machine,
-                                              tracer, metrics)
+                                              tracer, metrics, faults)
         coll = Collectives(ctx)
         rpc = RpcLayer(ctx)
         aligner = SeedExtendAligner() if kernel == "real" else None
@@ -261,6 +302,7 @@ class MicroAsyncEngine(_MicroBase):
             rpc.register(r, lambda rid: (rid, float(lengths[rid])))
 
         alignments: list = []
+        finish_times: dict[int, float] = {}
 
         def rank_main(rank: int):
             tasks = rank_tasks[rank]
@@ -277,12 +319,14 @@ class MicroAsyncEngine(_MicroBase):
                 + len(by_read) * self.config.async_read_overhead * internode
                 + self.config.async_base_overhead
             )
-            yield ctx.charge("compute_overhead", rank, 0.5 * oh)
+            yield ctx.charge("compute_overhead", rank,
+                             self._dilated(ctx, rank, 0.5 * oh))
 
             # split-phase barrier overlapped with local-local tasks
             coll.split_barrier_enter(rank)
             for t in local_tasks:
                 seconds, alignment = self._task_compute(workload, int(t), aligner)
+                seconds = self._dilated(ctx, rank, seconds)
                 if seconds:
                     yield ctx.charge("compute_align", rank, seconds,
                                      name=f"task{int(t)}")
@@ -291,6 +335,7 @@ class MicroAsyncEngine(_MicroBase):
                     ctx.metrics.inc("cells", rank, alignment.cells)
                     alignments.append(alignment)
             yield from coll.split_barrier_wait(rank)
+            self._check_deaths(ctx)
 
             # pull phase with a bounded outstanding window
             pending = list(by_read)
@@ -322,6 +367,7 @@ class MicroAsyncEngine(_MicroBase):
                 # (already elapsed while waiting: record, do not re-advance)
                 ctx.record("comm", rank, ctx.engine.now - t0,
                            name="inbox-wait")
+                self._check_deaths(ctx)
                 ctx.memory.free(rank, f"inflight{response.token}")
                 done += 1
                 outstanding -= 1
@@ -333,6 +379,7 @@ class MicroAsyncEngine(_MicroBase):
                     issue_one()
                 for t in by_read[int(response.token)]:
                     seconds, alignment = self._task_compute(workload, t, aligner)
+                    seconds = self._dilated(ctx, rank, seconds)
                     if seconds:
                         yield ctx.charge("compute_align", rank, seconds,
                                          name=f"task{t}")
@@ -340,9 +387,15 @@ class MicroAsyncEngine(_MicroBase):
                     if alignment is not None:
                         ctx.metrics.inc("cells", rank, alignment.cells)
                         alignments.append(alignment)
-            yield ctx.charge("compute_overhead", rank, 0.5 * oh)
+            yield ctx.charge("compute_overhead", rank,
+                             self._dilated(ctx, rank, 0.5 * oh))
 
             yield from coll.barrier(rank, tag="exit")
+            self._check_deaths(ctx)
+            finish_times[rank] = ctx.engine.now
+            # the rank is done for good: late duplicate responses must be
+            # dropped by the RPC layer, not parked in a dead inbox
+            inbox.close()
 
         for rank in range(P):
             ctx.memory.allocate(
@@ -357,5 +410,11 @@ class MicroAsyncEngine(_MicroBase):
             self.name, workload, machine, ctx,
             ctx.memory.rank_high_water(), 0,
             alignments if kernel == "real" else None,
-            details={"rpc_calls": rpc.total_calls},
+            details={
+                "rpc_calls": rpc.total_calls,
+                "rpc_retries": rpc.retries,
+                "rpc_timeouts": rpc.timeouts,
+                "rpc_dup_dropped": rpc.dups_dropped,
+            },
+            wall_time=max(finish_times.values(), default=ctx.engine.now),
         )

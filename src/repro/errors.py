@@ -39,5 +39,17 @@ class AccountingError(SimulationError):
     """Per-rank phase times failed to tile the wall clock (conservation)."""
 
 
+class FaultError(SimulationError):
+    """An injected fault could not be absorbed by the runtime."""
+
+
+class RpcTimeoutError(FaultError):
+    """An RPC exhausted its retry budget without receiving a response."""
+
+
+class RankFailureError(FaultError):
+    """A rank died permanently and the engine could not degrade gracefully."""
+
+
 class PartitionError(ReproError):
     """Read/task partitioning violated an invariant."""

@@ -1,0 +1,57 @@
+"""Deterministic fault injection: plans, seeded injectors, spec parsing.
+
+The paper's central claim — asynchrony tolerates irregularity better than
+bulk synchrony — is only half-testable on a runtime that can express the
+happy path alone.  This package makes the unhappy path a first-class,
+*reproducible* input:
+
+* :class:`FaultPlan` — a validated declaration of everything that goes
+  wrong (dropped/delayed/duplicated RPC responses, failed exchange rounds,
+  link-degradation windows, stragglers, rank deaths) plus the retry policy;
+* :class:`FaultInjector` — a ``(plan, seed)`` pairing that realizes the
+  plan through dedicated :class:`~repro.utils.rng.RngFactory` streams, so
+  identical seeds give bit-identical fault sequences and fault randomness
+  never perturbs the workload;
+* :func:`parse_fault_spec` — the CLI's ``--faults`` mini-grammar.
+
+The runtime reacts rather than crashes: :class:`repro.runtime.rpc.RpcLayer`
+grows timeouts, bounded exponential-backoff retries, and duplicate
+deduplication; the BSP engine retries failed exchange supersteps; and on a
+permanent rank death engines either redistribute the lost work
+(``redistribute``) or raise a typed
+:class:`repro.errors.RankFailureError`.  See ``docs/RESILIENCE.md``.
+"""
+
+from __future__ import annotations
+
+from repro.faults.injector import (
+    DELAY,
+    DELIVER,
+    DROP,
+    DUPLICATE,
+    FaultInjector,
+    MAX_EXCHANGE_ATTEMPTS,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.spec import parse_fault_spec
+from repro.machine.degradation import (
+    DegradationSchedule,
+    LinkWindow,
+    RankKill,
+    StraggleWindow,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "parse_fault_spec",
+    "LinkWindow",
+    "StraggleWindow",
+    "RankKill",
+    "DegradationSchedule",
+    "DELIVER",
+    "DROP",
+    "DELAY",
+    "DUPLICATE",
+    "MAX_EXCHANGE_ATTEMPTS",
+]

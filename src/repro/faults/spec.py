@@ -1,0 +1,195 @@
+"""The ``--faults`` spec mini-grammar.
+
+A spec is a comma-separated list of clauses::
+
+    drop=P                 drop each RPC response with probability P
+    delay=P:D              delay a response by duration D with probability P
+    dup=P                  deliver a response twice with probability P
+    xchg_drop=P            a BSP exchange round attempt fails with prob. P
+    degrade=F@T0:T1        link bandwidth scaled by F in [T0, T1)   (F in (0,1])
+    lag=L@T0:T1            message latency scaled by L in [T0, T1)  (L >= 1)
+    straggle=F@rR:T0:T1    rank R busy time dilated by F in [T0, T1)
+    kill=rR@T              rank R dies permanently at time T
+    redistribute           survivors absorb a dead rank's remaining work
+    timeout=D              RPC retransmission timeout
+    retries=N              max RPC retransmissions before RpcTimeoutError
+    backoff=D              base retry backoff (doubles per attempt)
+    jitter=F               +/- fraction of seeded jitter on each backoff
+
+Durations accept ``s``/``ms``/``us`` suffixes (default seconds); ``degrade``,
+``lag``, ``straggle`` and ``kill`` clauses may repeat.  Errors raise
+:class:`repro.errors.ConfigurationError` with the offending clause named —
+the CLI turns that into a clean exit-code-2 message, never a traceback.
+
+Example::
+
+    --faults "drop=0.02,delay=0.05:2ms,degrade=0.5@10:20,kill=r3@30,redistribute"
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
+from repro.machine.degradation import LinkWindow, RankKill, StraggleWindow
+from repro.utils.units import MS, US
+
+__all__ = ["parse_fault_spec"]
+
+_KNOWN_KEYS = (
+    "drop", "delay", "dup", "xchg_drop", "degrade", "lag", "straggle",
+    "kill", "redistribute", "timeout", "retries", "backoff", "jitter",
+)
+
+
+def _seconds(text: str, clause: str) -> float:
+    """Parse a duration with an optional s/ms/us suffix."""
+    t = text.strip()
+    scale = 1.0
+    for suffix, s in (("us", US), ("ms", MS), ("s", 1.0)):
+        if t.endswith(suffix):
+            t = t[: -len(suffix)]
+            scale = s
+            break
+    try:
+        value = float(t)
+    except ValueError:
+        raise ConfigurationError(
+            f"fault spec clause {clause!r}: {text!r} is not a duration "
+            f"(use e.g. 0.5, 2ms, 30us)"
+        ) from None
+    return value * scale
+
+
+def _number(text: str, clause: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"fault spec clause {clause!r}: {text!r} is not a number"
+        ) from None
+
+
+def _rank(text: str, clause: str) -> int:
+    t = text.strip()
+    if not t.startswith("r"):
+        raise ConfigurationError(
+            f"fault spec clause {clause!r}: expected a rank like 'r3', "
+            f"got {text!r}"
+        )
+    try:
+        return int(t[1:])
+    except ValueError:
+        raise ConfigurationError(
+            f"fault spec clause {clause!r}: {text!r} is not a rank"
+        ) from None
+
+
+def _split(text: str, sep: str, n: int, clause: str, what: str) -> list[str]:
+    parts = text.split(sep)
+    if len(parts) != n:
+        raise ConfigurationError(
+            f"fault spec clause {clause!r}: expected {what}"
+        )
+    return parts
+
+
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Parse a ``--faults`` spec string into a validated :class:`FaultPlan`."""
+    kwargs: dict = {}
+    links: list[LinkWindow] = []
+    stragglers: list[StraggleWindow] = []
+    kills: list[RankKill] = []
+
+    if not spec.strip():
+        raise ConfigurationError(
+            "empty fault spec; expected comma-separated clauses like "
+            "'drop=0.02,kill=r3@30' (known keys: "
+            f"{', '.join(_KNOWN_KEYS)})"
+        )
+
+    for raw in spec.split(","):
+        clause = raw.strip()
+        if not clause:
+            continue
+        key, _, value = clause.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if key not in _KNOWN_KEYS:
+            raise ConfigurationError(
+                f"unknown fault spec key {key!r} in clause {clause!r}; "
+                f"known keys: {', '.join(_KNOWN_KEYS)}"
+            )
+        if key == "redistribute":
+            if value:
+                raise ConfigurationError(
+                    f"fault spec clause {clause!r}: 'redistribute' takes "
+                    f"no value"
+                )
+            kwargs["redistribute"] = True
+            continue
+        if not value:
+            raise ConfigurationError(
+                f"fault spec clause {clause!r}: {key!r} needs a value"
+            )
+        if key == "drop":
+            kwargs["drop_prob"] = _number(value, clause)
+        elif key == "dup":
+            kwargs["dup_prob"] = _number(value, clause)
+        elif key == "xchg_drop":
+            kwargs["exchange_drop_prob"] = _number(value, clause)
+        elif key == "delay":
+            prob, dur = _split(value, ":", 2, clause, "delay=P:D (e.g. 0.05:2ms)")
+            kwargs["delay_prob"] = _number(prob, clause)
+            kwargs["delay_seconds"] = _seconds(dur, clause)
+        elif key in ("degrade", "lag"):
+            factor, _, window = value.partition("@")
+            t0, t1 = _split(window, ":", 2, clause,
+                            f"{key}=F@T0:T1 (e.g. {key}=0.5@10:20)")
+            f = _number(factor, clause)
+            links.append(
+                LinkWindow(
+                    start=_seconds(t0, clause), end=_seconds(t1, clause),
+                    bandwidth_factor=f if key == "degrade" else 1.0,
+                    latency_factor=f if key == "lag" else 1.0,
+                )
+            )
+        elif key == "straggle":
+            factor, _, window = value.partition("@")
+            rank_s, t0, t1 = _split(window, ":", 3, clause,
+                                    "straggle=F@rR:T0:T1 (e.g. 3@r2:5:15)")
+            stragglers.append(
+                StraggleWindow(
+                    rank=_rank(rank_s, clause),
+                    start=_seconds(t0, clause), end=_seconds(t1, clause),
+                    factor=_number(factor, clause),
+                )
+            )
+        elif key == "kill":
+            rank_s, _, when = value.partition("@")
+            if not when:
+                raise ConfigurationError(
+                    f"fault spec clause {clause!r}: expected kill=rR@T "
+                    f"(e.g. kill=r3@30)"
+                )
+            kills.append(
+                RankKill(rank=_rank(rank_s, clause),
+                         time=_seconds(when, clause))
+            )
+        elif key == "timeout":
+            kwargs["rpc_timeout"] = _seconds(value, clause)
+        elif key == "retries":
+            n = _number(value, clause)
+            if n != int(n):
+                raise ConfigurationError(
+                    f"fault spec clause {clause!r}: retries must be an integer"
+                )
+            kwargs["rpc_max_retries"] = int(n)
+        elif key == "backoff":
+            kwargs["rpc_backoff"] = _seconds(value, clause)
+        elif key == "jitter":
+            kwargs["rpc_backoff_jitter"] = _number(value, clause)
+
+    return FaultPlan(
+        links=tuple(links), stragglers=tuple(stragglers), kills=tuple(kills),
+        source=spec.strip(), **kwargs,
+    )

@@ -1,0 +1,195 @@
+"""Time-windowed network/rank degradation schedules.
+
+Real interconnects do not fail cleanly: links lose bandwidth for a while
+(congestion, adaptive-routing storms, a flapping optical lane), individual
+ranks straggle (thermal throttling, OS interference bursts), and at the
+paper's scale (512 Cori nodes, multi-hour runs) a rank occasionally dies
+outright.  This module holds the *machine-side* description of those
+anomalies — when a window is open and how much it dilates time — while
+:mod:`repro.faults` decides *which* anomalies a given run experiences.
+
+All factors are multiplicative time dilations (``>= 1`` slows things down):
+``LinkWindow`` scales transfer time (inverse bandwidth) and message latency
+inside ``[start, end)``; ``StraggleWindow`` dilates one rank's busy time
+inside its window; ``RankKill`` removes a rank permanently at ``time``.
+Windows may overlap — overlapping dilations multiply, the worst case on a
+real dragonfly where congestion and lane failure compound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "LinkWindow",
+    "StraggleWindow",
+    "RankKill",
+    "DegradationSchedule",
+]
+
+
+def _check_window(start: float, end: float, what: str) -> None:
+    if start < 0 or end <= start:
+        raise ConfigurationError(
+            f"{what} window must satisfy 0 <= start < end "
+            f"(got [{start}, {end}))"
+        )
+
+
+@dataclass(frozen=True)
+class LinkWindow:
+    """Bandwidth/latency degradation of the whole fabric over a window.
+
+    ``bandwidth_factor`` is the fraction of nominal bandwidth available in
+    ``[start, end)`` (0.5 = half speed, i.e. transfers take 2x as long);
+    ``latency_factor`` multiplies per-message latency in the same window.
+    """
+
+    start: float
+    end: float
+    bandwidth_factor: float = 1.0
+    latency_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end, "link degradation")
+        if not 0 < self.bandwidth_factor <= 1:
+            raise ConfigurationError(
+                f"bandwidth_factor must be in (0, 1] (got {self.bandwidth_factor})"
+            )
+        if self.latency_factor < 1:
+            raise ConfigurationError(
+                f"latency_factor must be >= 1 (got {self.latency_factor})"
+            )
+
+
+@dataclass(frozen=True)
+class StraggleWindow:
+    """One rank's busy time dilated by ``factor`` inside ``[start, end)``."""
+
+    rank: int
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end, "straggler")
+        if self.rank < 0:
+            raise ConfigurationError(f"straggler rank must be >= 0 (got {self.rank})")
+        if self.factor < 1:
+            raise ConfigurationError(
+                f"straggle factor must be >= 1 (got {self.factor})"
+            )
+
+
+@dataclass(frozen=True)
+class RankKill:
+    """Rank ``rank`` dies permanently at simulated ``time``."""
+
+    rank: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ConfigurationError(f"killed rank must be >= 0 (got {self.rank})")
+        if self.time < 0:
+            raise ConfigurationError(f"kill time must be >= 0 (got {self.time})")
+
+
+@dataclass(frozen=True)
+class DegradationSchedule:
+    """Queryable view over a set of degradation windows and kills."""
+
+    links: tuple[LinkWindow, ...] = ()
+    stragglers: tuple[StraggleWindow, ...] = ()
+    kills: tuple[RankKill, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for kill in self.kills:
+            if kill.rank in seen:
+                raise ConfigurationError(
+                    f"rank {kill.rank} is killed more than once"
+                )
+            seen.add(kill.rank)
+
+    # -- link state ---------------------------------------------------------
+
+    def link_dilation(self, t: float) -> float:
+        """Instantaneous transfer-time multiplier at ``t`` (>= 1)."""
+        dil = 1.0
+        for w in self.links:
+            if w.start <= t < w.end:
+                dil /= w.bandwidth_factor
+        return dil
+
+    def latency_factor(self, t: float) -> float:
+        """Instantaneous message-latency multiplier at ``t`` (>= 1)."""
+        f = 1.0
+        for w in self.links:
+            if w.start <= t < w.end:
+                f *= w.latency_factor
+        return f
+
+    def mean_link_dilation(self, t0: float, t1: float) -> float:
+        """Average transfer-time multiplier over ``[t0, t1]``.
+
+        Used by the macro engines, which charge whole communication phases
+        analytically rather than event by event.  Computed exactly by
+        splitting the interval at window boundaries.
+        """
+        if t1 <= t0:
+            return self.link_dilation(t0)
+        cuts = {t0, t1}
+        for w in self.links:
+            if w.start < t1 and w.end > t0:
+                cuts.add(max(t0, w.start))
+                cuts.add(min(t1, w.end))
+        points = sorted(cuts)
+        total = 0.0
+        for a, b in zip(points, points[1:]):
+            total += self.link_dilation(0.5 * (a + b)) * (b - a)
+        return total / (t1 - t0)
+
+    # -- rank state ---------------------------------------------------------
+
+    def straggle_factor(self, rank: int, t: float) -> float:
+        """Instantaneous busy-time multiplier for ``rank`` at ``t``."""
+        f = 1.0
+        for w in self.stragglers:
+            if w.rank == rank and w.start <= t < w.end:
+                f *= w.factor
+        return f
+
+    def mean_straggle_factor(self, rank: int, t0: float, t1: float) -> float:
+        """Average busy-time multiplier for ``rank`` over ``[t0, t1]``."""
+        if t1 <= t0:
+            return self.straggle_factor(rank, t0)
+        cuts = {t0, t1}
+        for w in self.stragglers:
+            if w.rank == rank and w.start < t1 and w.end > t0:
+                cuts.add(max(t0, w.start))
+                cuts.add(min(t1, w.end))
+        points = sorted(cuts)
+        total = 0.0
+        for a, b in zip(points, points[1:]):
+            total += self.straggle_factor(rank, 0.5 * (a + b)) * (b - a)
+        return total / (t1 - t0)
+
+    def death_time(self, rank: int) -> float | None:
+        """When ``rank`` dies, or ``None`` if it never does."""
+        for kill in self.kills:
+            if kill.rank == rank:
+                return kill.time
+        return None
+
+    def dead(self, rank: int, t: float) -> bool:
+        """Is ``rank`` dead at simulated time ``t``?"""
+        dt = self.death_time(rank)
+        return dt is not None and t >= dt
+
+    def deaths_before(self, t: float) -> list[RankKill]:
+        """All kills effective at or before ``t``, ordered by death time."""
+        return sorted((k for k in self.kills if k.time <= t),
+                      key=lambda k: (k.time, k.rank))

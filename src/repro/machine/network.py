@@ -157,6 +157,17 @@ class NetworkModel:
         """Payload bandwidth achieved by unscheduled RPC pulls."""
         return self.schedulable_rank_bw() * self.machine.network.async_bw_efficiency
 
+    def suggested_rpc_timeout(self) -> float:
+        """Default RPC timeout for the fault-tolerant retry path.
+
+        Generous relative to the unloaded round trip so deep-but-healthy
+        service queues do not trigger spurious retransmissions, yet short
+        enough that a dropped response is detected well within a simulated
+        run.  Fault plans may override it (``timeout=`` in the spec).
+        """
+        net = self.machine.network
+        return max(2e-3, 250.0 * (net.rtt + net.rpc_service_gap))
+
     def rpc_overload_extra(self, incoming_lookups: float) -> float:
         """Extra seconds in the degraded deep-queue regime (§4.3).
 

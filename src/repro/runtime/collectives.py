@@ -243,17 +243,24 @@ class Collectives:
                     recv_bytes += nbytes
 
         avg_sources = max(1.0, float(source_counts.mean()))
+        # injected link degradation slows the exchange for everyone: fold
+        # the window's time dilation into the efficiency scale
+        eff = efficiency_scale
+        if self.ctx.faults is not None:
+            eff = efficiency_scale / self.ctx.faults.link_dilation(
+                self.ctx.engine.now
+            )
         duration = self.ctx.net.alltoallv_time(
             per_rank_send.max(initial=0.0),
             per_rank_recv.max(initial=0.0),
             avg_sources,
-            efficiency_scale=efficiency_scale,
+            efficiency_scale=eff,
         )
         personal = min(
             duration,
             self.ctx.net.alltoallv_rank_time(
                 send_bytes, recv_bytes, avg_sources,
-                efficiency_scale=efficiency_scale,
+                efficiency_scale=eff,
             ),
         )
         self.ctx.record("sync", rank, wait,  # elapsed in rendezvous
@@ -269,3 +276,35 @@ class Collectives:
             metrics.inc("bytes_sent", rank, send_bytes)
             metrics.inc("bytes_recv", rank, recv_bytes)
         return recv_items
+
+    def alltoallv_resilient(self, rank: int, send: dict[int, list],
+                            send_bytes: float, round_idx: int,
+                            tag: str = "alltoallv",
+                            efficiency_scale: float = 1.0):
+        """An :meth:`alltoallv` that retries when the fault plan fails it.
+
+        The context's fault injector decides — identically on every rank,
+        from a round-keyed stream — how many attempts round ``round_idx``
+        needs.  Failed attempts pay the full exchange cost (the collective
+        ran, then a lost contribution invalidated it) and their received
+        data is discarded; only the final attempt's payload is returned.
+        """
+        faults = self.ctx.faults
+        attempts = faults.exchange_attempts(round_idx) if faults is not None else 1
+        for a in range(attempts - 1):
+            if self.ctx.tracer is not None:
+                self.ctx.tracer.instant(
+                    rank, "exchange_retry", self.ctx.engine.now,
+                    tag=tag, round=round_idx, attempt=a + 1,
+                )
+            if self.ctx.metrics is not None:
+                self.ctx.metrics.inc("exchange_retries", rank)
+            yield from self.alltoallv(
+                rank, send, send_bytes, tag=f"{tag}!a{a}",
+                efficiency_scale=efficiency_scale,
+            )
+        result = yield from self.alltoallv(
+            rank, send, send_bytes, tag=tag,
+            efficiency_scale=efficiency_scale,
+        )
+        return result

@@ -35,6 +35,10 @@ class SpmdContext:
     engine: Engine = field(default_factory=Engine)
     tracer: Tracer | None = None
     metrics: MetricsRegistry | None = None
+    #: fault oracle for this run (a :class:`repro.faults.FaultInjector`),
+    #: consulted by the RPC layer and collectives; ``None`` = fault-free.
+    #: Typed loosely to keep the runtime importable without repro.faults.
+    faults: object | None = None
 
     def __post_init__(self) -> None:
         self.net = NetworkModel(self.machine)

@@ -18,18 +18,38 @@ class SimQueue:
     delivery); ``get`` is a generator to be used as ``item = yield from
     q.get()`` inside a simulated process.  Only one consumer may wait at a
     time — each rank owns its own inbox.
+
+    When the consumer is gone for good (its rank finished, or died to an
+    injected fault), :meth:`close` marks the queue; a later ``put`` is a
+    producer delivering into the void — a latent lost-message bug — and
+    raises :class:`SimulationError` naming the queue instead of silently
+    buffering forever.
     """
 
     def __init__(self, engine: Engine, name: str = ""):
         self._engine = engine
         self._items: deque[Any] = deque()
         self._waiter: Event | None = None
+        self._closed = False
         self.name = name
 
     def __len__(self) -> int:
         return len(self._items)
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Mark the consumer as gone; subsequent ``put``/``get`` raise."""
+        self._closed = True
+
     def put(self, item: Any) -> None:
+        if self._closed:
+            raise SimulationError(
+                f"put on queue {self.name!r} after its consumer was closed "
+                f"(the item would never be consumed)"
+            )
         self._items.append(item)
         if self._waiter is not None:
             waiter, self._waiter = self._waiter, None
@@ -37,6 +57,8 @@ class SimQueue:
 
     def get(self):
         """Generator: yields until an item is available, then returns it."""
+        if self._closed:
+            raise SimulationError(f"get on closed queue {self.name!r}")
         while not self._items:
             if self._waiter is not None:
                 raise SimulationError(

@@ -91,3 +91,66 @@ def test_parser_rejects_unknown():
         parser.parse_args(["run", "--engine", "mpi"])
     with pytest.raises(SystemExit):
         parser.parse_args(["bogus"])
+
+
+def test_bad_fault_spec_clean_error(capsys):
+    """An unknown --faults key exits with code 2 and a one-line error on
+    stderr — no traceback."""
+    rc = main(["run", "--workload", "micro", "--nodes", "1",
+               "--cores-per-node", "8", "--faults", "bogus=1"])
+    assert rc == 2
+    captured = capsys.readouterr()
+    assert "unknown fault spec key 'bogus'" in captured.err
+    assert "known keys:" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_bad_fault_spec_on_compare(capsys):
+    rc = main(["compare", "--workload", "micro", "--nodes", "1",
+               "--cores-per-node", "8", "--faults", "drop=nope"])
+    assert rc == 2
+    captured = capsys.readouterr()
+    assert "error:" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_run_with_faults_reports_plan(capsys):
+    rc = main(["run", "--workload", "micro", "--nodes", "2",
+               "--cores-per-node", "8", "--engine", "async",
+               "--faults", "drop=0.05,dup=0.02", "--fault-seed", "3",
+               "--metrics"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fault report (drop=0.05,dup=0.02)" in out
+    assert "rpc_retries" in out
+
+
+def test_run_kill_without_redistribute_typed_failure(capsys):
+    rc = main(["run", "--workload", "micro", "--nodes", "2",
+               "--cores-per-node", "8",
+               "--faults", "kill=r1@1ms"])
+    assert rc == 1
+    captured = capsys.readouterr()
+    assert "rank 1 died" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_compare_degradation_section(capsys):
+    rc = main(["compare", "--workload", "micro", "--nodes", "2",
+               "--cores-per-node", "8",
+               "--faults", "drop=0.05,xchg_drop=0.5", "--fault-seed", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Degradation under faults" in out
+    assert "wall" in out and "->" in out
+
+
+def test_fault_run_is_deterministic(capsys):
+    args = ["run", "--workload", "micro", "--nodes", "2",
+            "--cores-per-node", "8", "--engine", "bsp",
+            "--faults", "xchg_drop=0.6,straggle=2@r1:0:1", "--fault-seed", "7"]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert first == second

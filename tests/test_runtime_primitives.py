@@ -52,6 +52,61 @@ def test_simqueue_single_consumer():
         eng.run()
 
 
+def test_simqueue_waiting_consumer_guard_names_queue():
+    """The second-consumer guard must say *which* queue misfired."""
+    eng = Engine()
+    q = SimQueue(eng, "rpc-inbox-3")
+
+    def consumer():
+        yield from q.get()
+
+    eng.process(consumer())
+    eng.process(consumer())
+    with pytest.raises(SimulationError, match="rpc-inbox-3"):
+        eng.run()
+
+
+def test_simqueue_put_after_close_raises():
+    """A producer delivering into a closed queue is a lost-message bug,
+    not a silent buffer-forever."""
+    eng = Engine()
+    q = SimQueue(eng, "rpc-inbox-0")
+    q.put("early")  # fine before close
+    q.close()
+    assert q.closed
+    with pytest.raises(SimulationError, match="rpc-inbox-0"):
+        q.put("late")
+
+
+def test_simqueue_get_after_close_raises():
+    eng = Engine()
+    q = SimQueue(eng, "inbox")
+    q.close()
+
+    def consumer():
+        yield from q.get()
+
+    eng.process(consumer())
+    with pytest.raises(SimulationError, match="inbox"):
+        eng.run()
+
+
+def test_deadlock_error_names_blocked_processes():
+    """A drained event heap with blocked processes must raise
+    DeadlockError (not hang, not exit silently) and name the victims."""
+    from repro.errors import DeadlockError
+
+    eng = Engine()
+    q = SimQueue(eng, "never-fed")
+
+    def consumer():
+        yield from q.get()
+
+    eng.process(consumer(), name="starved-rank")
+    with pytest.raises(DeadlockError, match="starved-rank"):
+        eng.run()
+
+
 def test_barrier_synchronizes_ranks():
     ctx = make_ctx(4)
     coll = Collectives(ctx)
