@@ -18,7 +18,6 @@ from conftest import emit, run_once
 from repro.core.api import get_workload, make_machine
 from repro.engines.async_ import AsyncEngine
 from repro.engines.base import EngineConfig
-from repro.machine.config import NetworkSpec
 
 AGGREGATION = (1, 4, 16, 64)
 NODES = 64

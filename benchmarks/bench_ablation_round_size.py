@@ -12,7 +12,6 @@ from conftest import emit, run_once
 from repro.core.api import get_workload, make_machine
 from repro.engines.base import EngineConfig
 from repro.engines.bsp import BSPEngine
-from repro.perf.format import render_table
 
 FRACTIONS = (0.05, 0.1, 0.2, 0.4, 0.8, 1.0)
 NODES = 16

@@ -13,7 +13,6 @@ Run:  python examples/overlap_graph.py
 """
 
 import networkx as nx
-import numpy as np
 
 from repro.align.seedextend import SeedExtendAligner
 from repro.genome.datasets import DATASETS, synthesize_dataset

@@ -3,16 +3,22 @@
 Commands
 --------
 ``run``      simulate one engine on a workload and print the breakdown
-``compare``  run both engines on identical inputs (the paper's method)
+``compare``  run the macro engines on identical inputs (the paper's method)
 ``sweep``    strong-scaling sweep over node counts
 ``datasets`` list the available workload presets
+``engines``  list the registered engines
+
+The ``--approach`` choices (``--engine`` is an alias) come straight from
+the engine registry — registering a new engine makes it runnable here with
+no CLI edits (docs/ARCHITECTURE.md).
 
 Examples
 --------
 ::
 
     python -m repro datasets
-    python -m repro run --workload ecoli100x --nodes 16 --engine async
+    python -m repro run --workload ecoli100x --nodes 16 --approach async
+    python -m repro run --workload ecoli100x --nodes 16 --approach hybrid
     python -m repro compare --workload human_ccs --nodes 8
     python -m repro sweep --workload ecoli100x --nodes 1 4 16 64
 """
@@ -31,6 +37,7 @@ from repro.core.api import (
     scaling_sweep,
 )
 from repro.engines.base import EngineConfig
+from repro.engines.registry import available_engines, get_engine
 from repro.errors import ConfigurationError, FaultError
 from repro.faults import parse_fault_spec
 from repro.genome.datasets import DATASETS
@@ -74,19 +81,24 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_run)
     fault_args(p_run)
     p_run.add_argument("--nodes", type=int, default=4)
-    p_run.add_argument("--engine", default="bsp", choices=["bsp", "async"])
+    p_run.add_argument("--approach", "--engine", dest="approach",
+                       default="bsp", choices=list(available_engines()),
+                       help="registered engine to run (--engine is an alias)")
 
-    p_cmp = sub.add_parser("compare", help="run both engines side by side")
+    p_cmp = sub.add_parser("compare",
+                           help="run the macro engines side by side")
     common(p_cmp)
     fault_args(p_cmp)
     p_cmp.add_argument("--nodes", type=int, default=4)
 
     p_sweep = sub.add_parser("sweep", help="strong-scaling sweep")
     common(p_sweep)
+    fault_args(p_sweep)
     p_sweep.add_argument("--nodes", type=int, nargs="+",
                          default=[1, 4, 16, 64])
 
     sub.add_parser("datasets", help="list workload presets")
+    sub.add_parser("engines", help="list registered engines")
     return parser
 
 
@@ -194,7 +206,7 @@ def _fault_detail_bits(details: dict) -> list[str]:
 def _degradation_section(clean: dict, faulty: dict, plan) -> None:
     """How much wall clock each engine lost to the injected faults."""
     print(f"Degradation under faults ({plan.describe()}):")
-    for name in ("bsp", "async"):
+    for name in clean:
         c = clean[name].wall_time
         f = faulty[name].wall_time
         inflation = (f"{100 * (f / c - 1):+.1f}%" if c > 0 else "n/a")
@@ -216,6 +228,15 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
+    if args.command == "engines":
+        rows = [
+            [name, get_engine(name).kind, get_engine(name).description]
+            for name in available_engines()
+        ]
+        print(render_table("Registered engines",
+                           ["name", "kind", "description"], rows))
+        return 0
+
     if args.command == "datasets":
         rows = [
             [name, spec.species,
@@ -235,16 +256,19 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "run":
         tracer, metrics = _observability(args)
         try:
-            res = run_alignment(workload, args.nodes, args.engine,
+            res = run_alignment(workload, args.nodes, args.approach,
                                 config=_config(args),
                                 cores_per_node=args.cores_per_node,
                                 tracer=tracer, metrics=metrics,
                                 fault_plan=fault_plan,
                                 fault_seed=args.fault_seed)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         except FaultError as exc:
             print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
             return 1
-        _print_result(args.engine, res)
+        _print_result(args.approach, res)
         if fault_plan is not None:
             bits = [f"faults={res.details.get('faults_injected', 0)}"]
             bits += _fault_detail_bits(res.details)
@@ -276,22 +300,39 @@ def main(argv: list[str] | None = None) -> int:
                                     cores_per_node=args.cores_per_node)
             _degradation_section(clean, results, fault_plan)
         return _finish_observability(args, tracer, metrics,
-                                     [results["bsp"], results["async"]])
+                                     list(results.values()))
 
     if args.command == "sweep":
-        tracer, _ = _observability(args)
-        results = scaling_sweep(workload, args.nodes, config=_config(args),
-                                cores_per_node=args.cores_per_node,
-                                tracer=tracer)
+        tracer = Tracer() if args.trace else None
+        sweep_metrics: dict | None = {} if args.metrics else None
+        try:
+            results = scaling_sweep(workload, args.nodes,
+                                    config=_config(args),
+                                    cores_per_node=args.cores_per_node,
+                                    tracer=tracer, metrics=sweep_metrics,
+                                    fault_plan=fault_plan,
+                                    fault_seed=args.fault_seed)
+        except FaultError as exc:
+            print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+            return 1
         print(render_table(
             f"Strong scaling {args.workload}",
             ["engine", "nodes", "wall_s", "comm%", "sync%", "align%",
              "overhead%", "rounds"],
             render_breakdown_rows(results),
         ))
+        if sweep_metrics:
+            # one registry per node count (rank counts differ across sizes)
+            for nodes in args.nodes:
+                reg = sweep_metrics.get(nodes)
+                if reg is not None and reg.names():
+                    print(render_table(
+                        f"Per-rank counters ({nodes} nodes)",
+                        ["counter", "min", "avg", "max", "sum"],
+                        reg.rows(),
+                    ))
         if tracer is not None:
-            ordered = [results[a][n] for n in args.nodes
-                       for a in ("bsp", "async") if a in results]
+            ordered = [results[a][n] for n in args.nodes for a in results]
             return _finish_observability(args, tracer, None, ordered)
         return 0
 

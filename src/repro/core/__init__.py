@@ -1,19 +1,25 @@
 """Public top-level API: build workloads, run engines, compare approaches."""
 
 from repro.core.api import (
+    ENGINES,
     get_workload,
     make_machine,
     run_alignment,
     compare_engines,
     scaling_sweep,
     clear_workload_cache,
+    set_workload_cache_cap,
+    workload_cache_stats,
 )
 
 __all__ = [
+    "ENGINES",
     "get_workload",
     "make_machine",
     "run_alignment",
     "compare_engines",
     "scaling_sweep",
     "clear_workload_cache",
+    "set_workload_cache_cap",
+    "workload_cache_stats",
 ]

@@ -8,45 +8,103 @@ Typical use (see ``examples/quickstart.py``)::
     result = run_alignment(wl, nodes=16, approach="async")
     print(result.breakdown.fractions())
 
-Workloads are cached per ``(name, seed)`` — rendering the 87.6M-task Human
-CCS assignment for a given rank count costs tens of seconds, and every
-figure benchmark reuses the same object.
+The engine set is not hardcoded here: :data:`ENGINES` is a live read-only
+view of :mod:`repro.engines.registry`, so a newly registered engine (see
+``docs/ARCHITECTURE.md``) is immediately runnable through
+:func:`run_alignment`, :func:`compare_engines` and :func:`scaling_sweep`
+with zero edits to this module.
+
+Workloads are cached per ``(name, seed)`` in a small LRU — rendering the
+87.6M-task Human CCS assignment for a given rank count costs tens of
+seconds, and every figure benchmark reuses the same object.  The cap
+defaults to 8 (override with ``REPRO_WORKLOAD_CACHE_CAP`` or
+:func:`set_workload_cache_cap`).
 """
 
 from __future__ import annotations
 
+import os
+from collections.abc import Mapping
 from typing import Iterable
 
-from repro.engines.async_ import AsyncEngine
+from repro.engines import registry as _registry
 from repro.engines.base import EngineConfig
-from repro.engines.bsp import BSPEngine
+from repro.engines.registry import available_engines, get_engine
 from repro.engines.report import RunResult
 from repro.errors import ConfigurationError
 from repro.genome.datasets import DATASETS, synthesize_dataset
 from repro.machine.config import MachineSpec, cori_knl
 from repro.obs import MetricsRegistry, Tracer
 from repro.pipeline.workload import ConcreteWorkload, StatisticalWorkload
+from repro.utils.cache import LruCache
+
+# engine modules self-register on import (bsp, async, bsp-micro,
+# async-micro, hybrid); this is the only import the registry needs
+import repro.engines  # noqa: F401
 
 __all__ = [
+    "ENGINES",
     "get_workload",
     "make_machine",
     "run_alignment",
     "compare_engines",
     "scaling_sweep",
     "clear_workload_cache",
+    "set_workload_cache_cap",
+    "workload_cache_stats",
 ]
 
-_WORKLOAD_CACHE: dict[tuple[str, int], object] = {}
 
-ENGINES = {"bsp": BSPEngine, "async": AsyncEngine}
+def _default_cache_cap() -> int:
+    raw = os.environ.get("REPRO_WORKLOAD_CACHE_CAP", "8")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 8
+
+
+_WORKLOAD_CACHE = LruCache(maxsize=_default_cache_cap())
+
+
+class _EngineView(Mapping):
+    """Read-only live view of the engine registry: name -> engine class.
+
+    Kept for back-compat with the old hardcoded ``ENGINES`` dict; iteration
+    follows registration order.
+    """
+
+    def __getitem__(self, name: str) -> type:
+        try:
+            return get_engine(name).factory
+        except ConfigurationError:
+            raise KeyError(name) from None
+
+    def __iter__(self):
+        return iter(available_engines())
+
+    def __len__(self) -> int:
+        return len(available_engines())
+
+
+ENGINES = _EngineView()
 
 
 def clear_workload_cache() -> None:
     _WORKLOAD_CACHE.clear()
 
 
+def set_workload_cache_cap(maxsize: int) -> None:
+    """Re-bound the workload cache, evicting LRU entries if shrinking."""
+    _WORKLOAD_CACHE.resize(maxsize)
+
+
+def workload_cache_stats() -> dict:
+    """Size/cap/hit/miss/eviction counters of the workload cache."""
+    return _WORKLOAD_CACHE.stats()
+
+
 def get_workload(name: str, seed: int = 0):
-    """Build (or fetch from cache) a named workload.
+    """Build (or fetch from the LRU cache) a named workload.
 
     Table-1 presets (``ecoli30x``, ``ecoli100x``, ``human_ccs``) become
     :class:`StatisticalWorkload`; sequence-level presets (``*_tiny``,
@@ -69,13 +127,21 @@ def get_workload(name: str, seed: int = 0):
         )
     else:
         wl = StatisticalWorkload(spec, seed=seed)
-    _WORKLOAD_CACHE[key] = wl
+    _WORKLOAD_CACHE.put(key, wl)
     return wl
 
 
 def make_machine(nodes: int, cores_per_node: int = 64) -> MachineSpec:
     """A Cori-KNL machine allocation (the paper's platform)."""
     return cori_knl(nodes, app_cores_per_node=cores_per_node)
+
+
+def _make_faults(fault_plan, fault_seed: int):
+    if fault_plan is None:
+        return None
+    from repro.faults import FaultInjector
+
+    return FaultInjector(fault_plan, fault_seed)
 
 
 def run_alignment(
@@ -89,8 +155,14 @@ def run_alignment(
     metrics: "MetricsRegistry | None" = None,
     fault_plan=None,
     fault_seed: int = 0,
+    kernel: str = "model",
 ) -> RunResult:
     """Simulate one engine processing a workload on a machine allocation.
+
+    ``approach`` may be any registered engine.  Macro engines consume the
+    workload's per-rank :meth:`assignment`; micro (message-level) engines
+    require a :class:`ConcreteWorkload` and accept ``kernel="real"`` to run
+    the actual X-drop kernel per task.
 
     ``tracer``/``metrics`` attach observability (see :mod:`repro.obs`): the
     run emits phase/instant events into the tracer (one Chrome "process"
@@ -103,19 +175,20 @@ def run_alignment(
     fresh :class:`repro.faults.FaultInjector` — fault randomness never
     touches the workload/noise streams (see docs/RESILIENCE.md).
     """
-    engine_cls = ENGINES.get(approach)
-    if engine_cls is None:
-        raise ConfigurationError(
-            f"unknown approach {approach!r}; choose from {sorted(ENGINES)}"
-        )
+    info = get_engine(approach)
     machine = machine or make_machine(nodes, cores_per_node)
-    engine = engine_cls(config=config or EngineConfig())
+    engine = info.factory(config=config or EngineConfig())
+    faults = _make_faults(fault_plan, fault_seed)
+    if info.kind == _registry.MICRO:
+        if not isinstance(workload, ConcreteWorkload):
+            raise ConfigurationError(
+                f"approach {approach!r} is a message-level engine and needs "
+                f"a ConcreteWorkload (sequence-level dataset), not "
+                f"{type(workload).__name__}"
+            )
+        return engine.run(workload, machine, kernel=kernel, tracer=tracer,
+                          metrics=metrics, faults=faults)
     assignment = workload.assignment(machine.total_ranks)
-    faults = None
-    if fault_plan is not None:
-        from repro.faults import FaultInjector
-
-        faults = FaultInjector(fault_plan, fault_seed)
     return engine.run(assignment, machine, tracer=tracer, metrics=metrics,
                       faults=faults)
 
@@ -129,40 +202,70 @@ def compare_engines(
     metrics: MetricsRegistry | None = None,
     fault_plan=None,
     fault_seed: int = 0,
+    approaches: Iterable[str] | None = None,
 ) -> dict[str, RunResult]:
-    """Run both approaches on identical fixed inputs (the paper's method).
+    """Run the macro approaches on identical fixed inputs (the paper's
+    method).
 
-    With a tracer attached, both runs land in one trace as separate
-    Chrome "processes" — a side-by-side timeline in Perfetto.  With a
+    ``approaches`` defaults to every registered macro engine (the micro
+    engines need concrete workloads and hours, not identical aggregates).
+    With a tracer attached, the runs land in one trace as separate Chrome
+    "processes" — a side-by-side timeline in Perfetto.  With a
     ``fault_plan``, each engine gets its own injector built from the same
-    plan and seed — identical bad luck for both codes.
+    plan and seed — identical bad luck for all codes.
     """
+    names = (tuple(approaches) if approaches is not None
+             else available_engines(kind=_registry.MACRO))
     return {
         name: run_alignment(workload, nodes, name, config, cores_per_node,
                             tracer=tracer, metrics=metrics,
                             fault_plan=fault_plan, fault_seed=fault_seed)
-        for name in ("bsp", "async")
+        for name in names
     }
 
 
 def scaling_sweep(
     workload,
     node_counts: Iterable[int],
-    approaches: Iterable[str] = ("bsp", "async"),
+    approaches: Iterable[str] | None = None,
     config: EngineConfig | None = None,
     cores_per_node: int = 64,
     tracer: Tracer | None = None,
+    metrics: dict[int, MetricsRegistry] | None = None,
+    fault_plan=None,
+    fault_seed: int = 0,
 ) -> dict[str, dict[int, RunResult]]:
     """Strong-scaling sweep: results[approach][nodes] -> RunResult.
 
-    No ``metrics`` parameter: a counter registry is sized to one rank
-    count, which varies across the sweep — trace instead.
+    ``approaches`` defaults to every registered macro engine.  A counter
+    registry is sized to one rank count, which varies across the sweep —
+    so ``metrics``, when given, is a caller-supplied dict that the sweep
+    fills with one :class:`MetricsRegistry` per node count (shared by the
+    approaches at that size).  ``fault_plan``/``fault_seed`` build a fresh
+    injector per run, exactly as :func:`run_alignment` does — the same
+    bad luck at every size, for every approach.
+
+    Each workload assignment is rendered at most once per rank count: all
+    approaches at a node count share the workload's per-P LRU cache entry
+    (observable through ``workload.assignment_cache.stats()``).
     """
-    out: dict[str, dict[int, RunResult]] = {a: {} for a in approaches}
+    names = (tuple(approaches) if approaches is not None
+             else available_engines(kind=_registry.MACRO))
+    for name in names:
+        get_engine(name)  # fail fast on typos before running anything
+    out: dict[str, dict[int, RunResult]] = {a: {} for a in names}
     for nodes in node_counts:
-        for approach in approaches:
+        node_metrics = None
+        if metrics is not None:
+            node_metrics = metrics.get(nodes)
+            if node_metrics is None:
+                machine = make_machine(nodes, cores_per_node)
+                node_metrics = MetricsRegistry(machine.total_ranks)
+                metrics[nodes] = node_metrics
+        for approach in names:
             out[approach][nodes] = run_alignment(
                 workload, nodes, approach, config, cores_per_node,
-                tracer=tracer,
+                tracer=tracer, metrics=node_metrics,
+                fault_plan=fault_plan, fault_seed=fault_seed,
             )
     return out

@@ -1,22 +1,42 @@
-"""The paper's two parallelization approaches, plus their measurement.
+"""The paper's parallelization approaches, plus their measurement.
 
 * :class:`BSPEngine` — bulk-synchronous: aggregated irregular all-to-all
   read exchange, dynamically split into memory-limited supersteps (§3.1);
 * :class:`AsyncEngine` — asynchronous: pull-based RPCs with callbacks,
   communication/computation overlap, bounded outstanding requests, and a
-  split-phase barrier overlapping local-local work (§3.2).
+  split-phase barrier overlapping local-local work (§3.2);
+* :class:`HybridEngine` — §5's anticipated hybrid: asynchronous pulls
+  aggregated into batched RPCs.
 
-Each engine runs at two granularities (DESIGN.md §6): **macro** — analytic
-per-rank phase models over a :class:`WorkloadAssignment`, used for the
-32K-core figures — and **micro** — real SPMD generator programs over the
-message-level runtime in :mod:`repro.runtime`, used for validation and for
-actually computing alignments on concrete workloads.
+The paper's two originals run at two granularities (DESIGN.md §6):
+**macro** — analytic per-rank phase models over a
+:class:`WorkloadAssignment`, used for the 32K-core figures — and **micro**
+— real SPMD generator programs over the message-level runtime in
+:mod:`repro.runtime`, used for validation and for actually computing
+alignments on concrete workloads.
+
+Every engine registers itself with :mod:`repro.engines.registry` at import
+time; the driver API and the CLI derive their engine sets from that
+registry (see ``docs/ARCHITECTURE.md`` for the how-to-add-one walkthrough).
 """
 
 from repro.engines.report import RuntimeBreakdown, RunResult, PhaseTimers
 from repro.engines.base import EngineConfig, ExecutionMode
+from repro.engines.registry import (
+    EngineInfo,
+    available_engines,
+    create_engine,
+    get_engine,
+    register_engine,
+)
+from repro.engines.harness import ExecutionContext
+
+# engine modules self-register on import; keep registration order stable:
+# bsp, async, bsp-micro, async-micro, hybrid
 from repro.engines.bsp import BSPEngine
 from repro.engines.async_ import AsyncEngine
+from repro.engines.micro import MicroAsyncEngine, MicroBSPEngine
+from repro.engines.hybrid import HybridEngine
 
 __all__ = [
     "RuntimeBreakdown",
@@ -24,6 +44,15 @@ __all__ = [
     "PhaseTimers",
     "EngineConfig",
     "ExecutionMode",
+    "EngineInfo",
+    "ExecutionContext",
+    "register_engine",
+    "get_engine",
+    "available_engines",
+    "create_engine",
     "BSPEngine",
     "AsyncEngine",
+    "MicroBSPEngine",
+    "MicroAsyncEngine",
+    "HybridEngine",
 ]

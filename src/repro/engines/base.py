@@ -58,6 +58,9 @@ class EngineConfig:
         (1 = the paper's implementation; >1 implements the aggregation the
         paper's §5 anticipates for high-latency networks: fewer, larger
         messages at the cost of per-message latency amortization).
+    hybrid_aggregation : batch size of the ``hybrid`` engine's aggregated
+        asynchronous pulls (§5): pulls to the same owner coalesce into one
+        RPC of this many reads.  1 degenerates to the plain async engine.
     multiround_efficiency : exchange-bandwidth factor applied when the BSP
         engine is forced into multiple memory-limited rounds — small
         buffers cannot pipeline pack/unpack with transmission (§3.1's
@@ -79,6 +82,7 @@ class EngineConfig:
     exchange_memory_fraction: float = 0.40
     async_window: int = 64
     async_aggregation: int = 1
+    hybrid_aggregation: int = 16
     multiround_efficiency: float = 0.55
     async_min_visible: float = 0.05
     noise_fraction: float = 0.015
@@ -91,8 +95,21 @@ class EngineConfig:
             raise ConfigurationError("async_window must be >= 1")
         if self.async_aggregation < 1:
             raise ConfigurationError("async_aggregation must be >= 1")
+        if self.hybrid_aggregation < 1:
+            raise ConfigurationError("hybrid_aggregation must be >= 1")
+        if not 0 < self.multiround_efficiency <= 1:
+            raise ConfigurationError(
+                "multiround_efficiency must be in (0,1]: it scales the "
+                "exchange bandwidth, so 0 stalls the exchange forever and "
+                ">1 would make memory pressure speed the run up"
+            )
         if not 0 <= self.async_min_visible <= 1:
             raise ConfigurationError("async_min_visible must be in [0,1]")
+        if self.noise_fraction < 0:
+            raise ConfigurationError(
+                "noise_fraction must be >= 0 (mean fractional OS-noise "
+                "dilation per phase)"
+            )
         if min(self.bsp_task_overhead, self.async_task_overhead,
                self.bsp_read_overhead, self.async_read_overhead,
                self.async_base_overhead) < 0:

@@ -26,31 +26,30 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.engines.base import EngineConfig, ExecutionMode
-from repro.engines.report import PhaseTimers, RunResult, RuntimeBreakdown
-from repro.errors import ConfigurationError, RankFailureError
-from repro.machine.config import MachineSpec
-from repro.machine.network import NetworkModel
-from repro.machine.noise import NoiseModel
-from repro.obs import (
-    ENGINE_LANE,
-    MetricsRegistry,
-    Tracer,
-    assert_conserved,
-    check_trace,
-    get_default_tracer,
+from repro.engines.common import (
+    BSP_BASE_MEMORY,
+    BSP_TASK_RECORD_BYTES,
+    bsp_num_rounds,
+    exchange_budget,
+    internode_fraction,
+    survivor_share,
 )
+from repro.engines.harness import ExecutionContext
+from repro.engines.registry import register_engine
+from repro.engines.report import RunResult
+from repro.errors import RankFailureError
+from repro.machine.config import MachineSpec
+from repro.obs import ENGINE_LANE, MetricsRegistry, Tracer
 from repro.pipeline.workload import WorkloadAssignment
-from repro.utils.rng import RngFactory
-from repro.utils.units import MB
 
 __all__ = ["BSPEngine"]
 
-#: fixed per-rank footprint: program image + MPI runtime + output buffers
-RUNTIME_BASE_MEMORY = 100 * MB
-#: flat-array task record: read ids, positions, flags, cost (BSP layout)
-BSP_TASK_RECORD_BYTES = 40.0
+#: back-compat aliases — the canonical constants live in engines.common
+RUNTIME_BASE_MEMORY = BSP_BASE_MEMORY
 
 
+@register_engine("bsp", description="bulk-synchronous aggregated exchange "
+                                    "(§3.1)")
 @dataclass
 class BSPEngine:
     """Macro-granularity simulator of the bulk-synchronous implementation."""
@@ -63,26 +62,12 @@ class BSPEngine:
     def exchange_budget(self, machine: MachineSpec,
                         assignment: WorkloadAssignment) -> float:
         """Receive-buffer bytes one rank may devote to a single round."""
-        fixed = (
-            RUNTIME_BASE_MEMORY
-            + float(assignment.partition_bytes.max(initial=0.0))
-            + float(assignment.tasks_per_rank.max(initial=0.0))
-            * BSP_TASK_RECORD_BYTES
-        )
-        free = machine.app_memory_per_rank - fixed
-        if free <= 0:
-            raise ConfigurationError(
-                "per-rank memory cannot hold even the input partition; "
-                "use more nodes (the paper needs >= 8 nodes for Human CCS)"
-            )
-        return self.config.exchange_memory_fraction * free
+        return exchange_budget(self.config, machine, assignment)
 
     def num_rounds(self, machine: MachineSpec,
                    assignment: WorkloadAssignment) -> int:
         """Rounds needed so every rank's round receive fits its budget."""
-        budget = self.exchange_budget(machine, assignment)
-        max_recv = float(assignment.recv_bytes.max(initial=0.0))
-        return max(1, int(np.ceil(max_recv / budget)))
+        return bsp_num_rounds(self.config, machine, assignment)
 
     # -- simulation ----------------------------------------------------------
 
@@ -91,21 +76,10 @@ class BSPEngine:
             tracer: Tracer | None = None,
             metrics: MetricsRegistry | None = None,
             faults=None) -> RunResult:
-        if assignment.num_ranks != machine.total_ranks:
-            raise ConfigurationError(
-                f"assignment is for {assignment.num_ranks} ranks but machine "
-                f"has {machine.total_ranks}"
-            )
-        P = machine.total_ranks
-        tracer = tracer if tracer is not None else get_default_tracer()
-        if tracer is not None:
-            tracer.begin_run(
-                f"{self.name} {assignment.name} nodes={machine.nodes} P={P}"
-            )
-        net = NetworkModel(machine)
-        noise = NoiseModel(machine, RngFactory(self.config.seed),
-                           noise_fraction=self.config.noise_fraction)
-        timers = PhaseTimers(P)
+        ctx = ExecutionContext.open(self.name, assignment, machine,
+                                    self.config, tracer=tracer,
+                                    metrics=metrics, faults=faults)
+        P = ctx.num_ranks
 
         rounds = self.num_rounds(machine, assignment)
         send = assignment.send_bytes
@@ -116,14 +90,14 @@ class BSPEngine:
 
         comm_only = self.config.mode is ExecutionMode.COMM_ONLY
         compute = np.zeros(P) if comm_only else assignment.compute_seconds
-        internode = 1.0 - 1.0 / machine.nodes
+        internode = internode_fraction(machine)
         overhead = (
             assignment.tasks_per_rank * self.config.bsp_task_overhead
             + assignment.lookups * self.config.bsp_read_overhead * internode
         )
 
         eff_scale = self.config.multiround_efficiency if rounds > 1 else 1.0
-        factors = noise.factors(P)
+        factors = ctx.noise.factors(P)
         wall = 0.0
         exchange_total = 0.0
         # fault bookkeeping: survivors absorb dead ranks' per-round quotas
@@ -134,9 +108,7 @@ class BSPEngine:
         retry_counts = np.zeros(P)
         for r in range(rounds):
             t0 = wall  # superstep start
-            if tracer is not None:
-                tracer.instant(ENGINE_LANE, "superstep", t0,
-                               round=r, rounds=rounds)
+            ctx.instant(ENGINE_LANE, "superstep", t0, round=r, rounds=rounds)
             if faults is not None:
                 for kill in faults.plan.kills:
                     if not (alive[kill.rank] and kill.time <= t0):
@@ -149,13 +121,7 @@ class BSPEngine:
                         )
                     alive[kill.rank] = False
                     ranks_lost.append(kill.rank)
-                    faults.note_kill(kill.rank)
-                    if tracer is not None:
-                        tracer.instant(ENGINE_LANE, "fault_inject", t0,
-                                       kind="rank_kill", victim=kill.rank,
-                                       round=r)
-                    if metrics is not None:
-                        metrics.inc("faults_injected", kill.rank)
+                    ctx.record_kill(kill.rank, t0, round=r)
                 if not alive.any():
                     raise RankFailureError(
                         "every rank died before the run finished; nothing "
@@ -163,17 +129,8 @@ class BSPEngine:
                     )
             n_alive = int(alive.sum())
 
-            def spread(x: np.ndarray) -> np.ndarray:
-                """This round's per-rank quota of x, dead ranks' share
-                redistributed equally over the survivors."""
-                xr = x / rounds
-                if n_alive == P:
-                    return xr
-                lost = float(xr[~alive].sum())
-                return np.where(alive, xr + lost / n_alive, 0.0)
-
-            round_send = spread(send)
-            round_recv = spread(recv)
+            round_send = survivor_share(send, rounds, alive, n_alive)
+            round_recv = survivor_share(recv, rounds, alive, n_alive)
             if n_alive < P:
                 moved = float(
                     (assignment.tasks_per_rank / rounds)[~alive].sum()
@@ -185,14 +142,14 @@ class BSPEngine:
             # a rank exchanges with roughly the same peer set every round;
             # splitting volume across rounds shrinks per-source messages
             round_sources = avg_sources
-            duration = net.alltoallv_time(
+            duration = ctx.net.alltoallv_time(
                 round_send.max(initial=0.0),
                 round_recv.max(initial=0.0),
                 round_sources,
                 efficiency_scale=eff_scale,
             )
             personal = np.array([
-                net.alltoallv_rank_time(
+                ctx.net.alltoallv_rank_time(
                     float(round_send[i]), float(round_recv[i]),
                     round_sources,
                     efficiency_scale=eff_scale,
@@ -210,8 +167,8 @@ class BSPEngine:
             attempts = faults.exchange_attempts(r) if faults is not None else 1
             for a in range(attempts):
                 ta = wall
-                timers.add_array("comm", comm_round)
-                timers.add_array("sync", duration - comm_round)
+                ctx.timers.add_array("comm", comm_round)
+                ctx.timers.add_array("sync", duration - comm_round)
                 wall += duration
                 exchange_total += duration
                 retried = a < attempts - 1
@@ -220,25 +177,22 @@ class BSPEngine:
                     if metrics is not None:
                         for i in np.flatnonzero(alive):
                             metrics.inc("exchange_retries", int(i))
-                if tracer is not None:
-                    if retried:
-                        tracer.instant(ENGINE_LANE, "exchange_retry", ta,
-                                       round=r, attempt=a + 1)
-                    label = (f"exchange[{r}]!a{a}" if retried
-                             else f"exchange[{r}]")
-                    for i in range(P):
-                        p_comm = float(comm_round[i])
-                        if p_comm > 0:
-                            tracer.phase(i, "comm", ta, p_comm, name=label)
-                        if duration - p_comm > 0:
-                            tracer.phase(i, "sync", ta + p_comm,
-                                         duration - p_comm,
-                                         name=f"exchange-skew[{r}]")
+                    ctx.instant(ENGINE_LANE, "exchange_retry", ta,
+                                round=r, attempt=a + 1)
+                label = (f"exchange[{r}]!a{a}" if retried
+                         else f"exchange[{r}]")
+                for i in range(P):
+                    p_comm = float(comm_round[i])
+                    ctx.phase(i, "comm", ta, p_comm, name=label)
+                    ctx.phase(i, "sync", ta + p_comm, duration - p_comm,
+                              name=f"exchange-skew[{r}]")
 
             # --- compute phase (ends at the slowest rank) ---
             tc = wall
-            align_part = factors * spread(compute)
-            phase = align_part + factors * spread(overhead)
+            align_part = factors * survivor_share(compute, rounds,
+                                                  alive, n_alive)
+            phase = align_part + factors * survivor_share(overhead, rounds,
+                                                          alive, n_alive)
             if faults is not None:
                 # stragglers dilate busy time inside their windows
                 straggle = np.array([
@@ -249,30 +203,26 @@ class BSPEngine:
                 align_part = align_part * straggle
                 phase = phase * straggle
             phase_end = float(phase.max(initial=0.0))
-            timers.add_array("compute_align", align_part)
-            timers.add_array("compute_overhead", phase - align_part)
-            timers.add_array("sync", phase_end - phase)
+            ctx.timers.add_array("compute_align", align_part)
+            ctx.timers.add_array("compute_overhead", phase - align_part)
+            ctx.timers.add_array("sync", phase_end - phase)
             wall += phase_end
 
-            if tracer is not None:
-                for i in range(P):
-                    a_ = float(align_part[i])
-                    o = float(phase[i]) - a_
-                    for cat, start, dur, label in (
-                        ("compute_align", tc, a_, f"align[{r}]"),
-                        ("compute_overhead", tc + a_, o, f"overhead[{r}]"),
-                        ("sync", tc + float(phase[i]),
-                         phase_end - float(phase[i]), f"compute-wait[{r}]"),
-                    ):
-                        if dur > 0:
-                            tracer.phase(i, cat, start, dur, name=label)
+            for i in range(P):
+                a_ = float(align_part[i])
+                o = float(phase[i]) - a_
+                ctx.phase(i, "compute_align", tc, a_, name=f"align[{r}]")
+                ctx.phase(i, "compute_overhead", tc + a_, o,
+                          name=f"overhead[{r}]")
+                ctx.phase(i, "sync", tc + float(phase[i]),
+                          phase_end - float(phase[i]),
+                          name=f"compute-wait[{r}]")
 
         # final barrier closing the last superstep
-        bar = net.barrier_time()
-        timers.add_array("sync", np.full(P, bar))
-        if tracer is not None:
-            for i in range(P):
-                tracer.phase(i, "sync", wall, bar, name="exit-barrier")
+        bar = ctx.net.barrier_time()
+        ctx.timers.add_array("sync", np.full(P, bar))
+        for i in range(P):
+            ctx.phase(i, "sync", wall, bar, name="exit-barrier")
         wall += bar
 
         # deaths inside the final superstep surface at the exit barrier:
@@ -291,34 +241,7 @@ class BSPEngine:
                     )
                 alive[kill.rank] = False
                 ranks_lost.append(kill.rank)
-                faults.note_kill(kill.rank)
-                if tracer is not None:
-                    tracer.instant(ENGINE_LANE, "fault_inject", kill.time,
-                                   kind="rank_kill", victim=kill.rank)
-                if metrics is not None:
-                    metrics.inc("faults_injected", kill.rank)
-
-        breakdown = RuntimeBreakdown(
-            engine=self.name,
-            machine=machine,
-            workload=assignment.name,
-            wall_time=wall,
-            compute_align=timers.get("compute_align"),
-            compute_overhead=timers.get("compute_overhead"),
-            comm=timers.get("comm"),
-            sync=timers.get("sync"),
-        )
-        breakdown.validate()
-        if tracer is not None:
-            # the emitted event stream must independently tile the wall clock
-            assert_conserved(check_trace(tracer, wall, P))
-        if metrics is not None:
-            metrics.add_array("tasks", assignment.tasks_per_rank)
-            metrics.add_array("lookups", assignment.lookups)
-            metrics.add_array("bytes_sent", send)
-            metrics.add_array("bytes_recv", recv)
-            if faults is not None and tasks_redistributed:
-                metrics.add_array("tasks_redistributed", redist_counts)
+                ctx.record_kill(kill.rank, kill.time)
 
         memory = (
             RUNTIME_BASE_MEMORY
@@ -332,15 +255,16 @@ class BSPEngine:
             "exchange_time_total": exchange_total,
         }
         if faults is not None:
-            details["fault_plan"] = faults.plan.describe()
-            details["faults_injected"] = faults.total_injected
-            details["fault_kinds"] = dict(faults.injected)
-            details["exchange_retries"] = int(retry_counts.max(initial=0.0))
-            details["tasks_redistributed"] = tasks_redistributed
-            details["ranks_lost"] = ranks_lost
-        return RunResult(
-            breakdown=breakdown,
-            memory_high_water=memory,
+            details = dict(details, **ctx.fault_details(
+                {"exchange_retries": int(retry_counts.max(initial=0.0))},
+                tasks_redistributed, ranks_lost,
+            ))
+        return ctx.finalize(
+            assignment, wall,
+            memory=memory,
             exchange_rounds=rounds,
             details=details,
+            extra_counters=(("bytes_sent", send), ("bytes_recv", recv)),
+            redist_counts=redist_counts,
+            tasks_redistributed=tasks_redistributed,
         )

@@ -1,0 +1,389 @@
+"""Shared macro-engine math: constants, round sizing, and the pull model.
+
+Everything here used to be duplicated across (or cross-imported between)
+the engine implementations: the per-rank memory-footprint constants, the
+BSP round-sizing logic, the redistribute-to-survivors quota helper, and
+the entire asynchronous pull phase model — which the ``hybrid`` engine
+(§5's aggregated pulls) shares with the plain ``async`` engine, differing
+only in how many pulls coalesce into one RPC.
+
+The functions are deliberately *pure over their inputs* (arrays in, arrays
+out) so that moving them here preserved bit-identical results: the same
+floating-point operations run in the same order as before the refactor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engines.base import EngineConfig
+from repro.engines.harness import ExecutionContext
+from repro.errors import ConfigurationError, RankFailureError
+from repro.machine.config import MachineSpec
+from repro.machine.network import NetworkModel
+from repro.obs import ENGINE_LANE
+from repro.pipeline.workload import WorkloadAssignment
+from repro.utils.units import MB
+
+__all__ = [
+    "BSP_BASE_MEMORY",
+    "BSP_TASK_RECORD_BYTES",
+    "ASYNC_BASE_MEMORY",
+    "ASYNC_TASK_RECORD_BYTES",
+    "internode_fraction",
+    "exchange_budget",
+    "bsp_num_rounds",
+    "survivor_share",
+    "mean_read_bytes",
+    "split_pull_compute",
+    "pull_overheads",
+    "pull_comm",
+    "PullFaultOutcome",
+    "apply_pull_faults",
+    "assemble_pull_phases",
+]
+
+#: fixed per-rank footprint: program image + MPI runtime + output buffers
+BSP_BASE_MEMORY = 100 * MB
+#: flat-array task record: read ids, positions, flags, cost (BSP layout)
+BSP_TASK_RECORD_BYTES = 40.0
+#: fixed per-rank footprint: program + UPC++/GASNet runtime segments
+ASYNC_BASE_MEMORY = 120 * MB
+#: pointer-based task record (std containers: node + pointers + payload)
+ASYNC_TASK_RECORD_BYTES = 96.0
+
+
+def internode_fraction(machine: MachineSpec) -> float:
+    """Fraction of remote reads that cross the network (1 - 1/nodes).
+
+    Intranode pulls resolve through the shared-memory segment without
+    serialization or callback deferral, so per-read overheads and
+    internode-only penalties scale by this factor.
+    """
+    return 1.0 - 1.0 / machine.nodes
+
+
+# -- BSP round sizing (the §3.1 dynamic superstep logic) --------------------
+
+def exchange_budget(config: EngineConfig, machine: MachineSpec,
+                    assignment: WorkloadAssignment) -> float:
+    """Receive-buffer bytes one rank may devote to a single round."""
+    fixed = (
+        BSP_BASE_MEMORY
+        + float(assignment.partition_bytes.max(initial=0.0))
+        + float(assignment.tasks_per_rank.max(initial=0.0))
+        * BSP_TASK_RECORD_BYTES
+    )
+    free = machine.app_memory_per_rank - fixed
+    if free <= 0:
+        raise ConfigurationError(
+            "per-rank memory cannot hold even the input partition; "
+            "use more nodes (the paper needs >= 8 nodes for Human CCS)"
+        )
+    return config.exchange_memory_fraction * free
+
+
+def bsp_num_rounds(config: EngineConfig, machine: MachineSpec,
+                   assignment: WorkloadAssignment) -> int:
+    """Rounds needed so every rank's round receive fits its budget."""
+    budget = exchange_budget(config, machine, assignment)
+    max_recv = float(assignment.recv_bytes.max(initial=0.0))
+    return max(1, int(np.ceil(max_recv / budget)))
+
+
+def survivor_share(x: np.ndarray, rounds: int, alive: np.ndarray,
+                   n_alive: int) -> np.ndarray:
+    """One round's per-rank quota of ``x``, dead ranks' share redistributed
+    equally over the survivors."""
+    xr = x / rounds
+    if n_alive == alive.size:
+        return xr
+    lost = float(xr[~alive].sum())
+    return np.where(alive, xr + lost / n_alive, 0.0)
+
+
+def mean_read_bytes(assignment: WorkloadAssignment) -> float:
+    """Average size of one pulled read (0 when nothing is pulled)."""
+    return (
+        assignment.lookup_bytes.sum() / assignment.lookups.sum()
+        if assignment.lookups.sum() > 0
+        else 0.0
+    )
+
+
+# -- the asynchronous pull model (shared by async and hybrid) ---------------
+
+def split_pull_compute(assignment: WorkloadAssignment, factors: np.ndarray,
+                       comm_only: bool) -> tuple[np.ndarray, np.ndarray]:
+    """Noise-dilated (local-pair, remote-pair) compute seconds per rank."""
+    P = assignment.num_ranks
+    if comm_only:
+        return np.zeros(P), np.zeros(P)
+    local_compute = factors * assignment.local_pair_seconds
+    remote_compute = factors * (
+        assignment.compute_seconds - assignment.local_pair_seconds
+    )
+    return local_compute, remote_compute
+
+
+def pull_overheads(config: EngineConfig, assignment: WorkloadAssignment,
+                   machine: MachineSpec) -> np.ndarray:
+    """Per-rank traversal/callback overhead of the pull-based engines."""
+    internode = internode_fraction(machine)
+    return (
+        assignment.tasks_per_rank * config.async_task_overhead
+        + assignment.lookups * config.async_read_overhead * internode
+        + config.async_base_overhead
+    )
+
+
+def pull_comm(net: NetworkModel, assignment: WorkloadAssignment,
+              agg: float) -> np.ndarray:
+    """Per-rank pull time with ``agg`` reads coalesced per RPC.
+
+    Aggregation keeps the bytes and halves nothing — it divides the
+    *message counts* (injection gaps, service-queue depth, window slots).
+    """
+    P = assignment.num_ranks
+    return np.array([
+        net.rpc_pull_time(
+            float(assignment.lookups[i]) / agg,
+            float(assignment.lookup_bytes[i]),
+            float(assignment.incoming_lookups[i]) / agg,
+            float(assignment.incoming_bytes[i]),
+        )
+        for i in range(P)
+    ])
+
+
+@dataclass
+class PullFaultOutcome:
+    """Fault-adjusted phase arrays plus degradation bookkeeping."""
+
+    local_compute: np.ndarray
+    remote_compute: np.ndarray
+    overhead_pre: np.ndarray
+    overhead_cb: np.ndarray
+    comm: np.ndarray
+    fault_stall: np.ndarray
+    retry_counts: np.ndarray
+    tasks_redistributed: float
+    redist_counts: np.ndarray
+    ranks_lost: list[int]
+
+
+def apply_pull_faults(
+    ctx: ExecutionContext,
+    assignment: WorkloadAssignment,
+    agg: float,
+    min_visible: float,
+    bar: float,
+    local_compute: np.ndarray,
+    remote_compute: np.ndarray,
+    overhead_pre: np.ndarray,
+    overhead_cb: np.ndarray,
+    comm: np.ndarray,
+) -> PullFaultOutcome:
+    """Fault adjustments of the pull model (analytic; docs/RESILIENCE.md).
+
+    Places degradation windows and kills on the fault-free analytic
+    timeline, then dilates busy time (stragglers), dilates traffic
+    (degraded links), stalls callers (message faults), and redistributes
+    dead ranks' unfinished work over the survivors.
+    """
+    P = assignment.num_ranks
+    faults = ctx.faults
+    fault_stall = np.zeros(P)
+    retry_counts = np.zeros(P)
+    tasks_redistributed = 0.0
+    redist_counts = np.zeros(P)
+    ranks_lost: list[int] = []
+    if faults is None:
+        return PullFaultOutcome(
+            local_compute, remote_compute, overhead_pre, overhead_cb, comm,
+            fault_stall, retry_counts, tasks_redistributed, redist_counts,
+            ranks_lost,
+        )
+
+    net = ctx.net
+    machine = ctx.machine
+    plan = faults.plan
+    # fault-free horizon: where each rank *would* finish — places
+    # degradation windows and kills on this analytic timeline
+    busy0 = remote_compute + overhead_cb
+    visible0 = np.maximum(comm - busy0, min_visible * comm)
+    finish0 = (
+        np.maximum(local_compute + overhead_pre, bar)
+        + busy0 + visible0
+    )
+    wall0 = float(finish0.max(initial=0.0)) + bar
+
+    # stragglers dilate every busy second inside their windows
+    straggle = np.array([
+        faults.mean_straggle_factor(i, 0.0, float(finish0[i]))
+        for i in range(P)
+    ])
+    local_compute = local_compute * straggle
+    remote_compute = remote_compute * straggle
+    overhead_pre = overhead_pre * straggle
+    overhead_cb = overhead_cb * straggle
+
+    # degraded links dilate the pull traffic
+    comm = comm * faults.mean_link_dilation(0.0, wall0)
+
+    # message faults: a dropped pull stalls its caller for the
+    # timeout plus the first backoff before the retry lands; a
+    # delayed pull stalls for the injected delay — pure visible
+    # latency, compute cannot hide a response that never came
+    timeout = (plan.rpc_timeout if plan.rpc_timeout is not None
+               else net.suggested_rpc_timeout())
+    backoff = (plan.rpc_backoff if plan.rpc_backoff is not None
+               else 10.0 * machine.network.rtt)
+    for i in range(P):
+        n_calls = int(np.ceil(float(assignment.lookups[i]) / agg))
+        drops, delays, dups = faults.rank_rpc_fault_counts(i, n_calls)
+        fault_stall[i] = (
+            drops * (timeout + backoff)
+            + delays * plan.delay_seconds
+        )
+        retry_counts[i] = drops
+        injected = drops + delays + dups
+        if ctx.metrics is not None:
+            if drops:
+                ctx.metrics.inc("rpc_retries", i, drops)
+            if injected:
+                ctx.metrics.inc("faults_injected", i, injected)
+        if ctx.tracer is not None and injected:
+            ctx.tracer.instant(i, "fault_inject", 0.0, kind="rpc_macro",
+                               drops=drops, delays=delays, dups=dups)
+
+    # rank deaths: the killed rank stops at its death time; the
+    # survivors absorb its unfinished work as extra callback-phase
+    # compute and pull traffic
+    alive = np.ones(P, dtype=bool)
+    for kill in sorted(plan.kills, key=lambda k: (k.time, k.rank)):
+        if kill.time >= wall0 or not alive[kill.rank]:
+            continue
+        if not plan.redistribute:
+            raise RankFailureError(
+                f"rank {kill.rank} died at t={kill.time:.6g}s during "
+                f"the async pull phase; add 'redistribute' to the "
+                f"fault plan for graceful degradation"
+            )
+        d = kill.rank
+        alive[d] = False
+        ranks_lost.append(d)
+        faults.note_kill(d)
+        if not alive.any():
+            raise RankFailureError(
+                "every rank died before the run finished; nothing "
+                "left to redistribute to"
+            )
+        if ctx.tracer is not None:
+            ctx.tracer.instant(ENGINE_LANE, "fault_inject", kill.time,
+                               kind="rank_kill", victim=d)
+        if ctx.metrics is not None:
+            ctx.metrics.inc("faults_injected", d)
+        done = (min(1.0, kill.time / float(finish0[d]))
+                if finish0[d] > 0 else 1.0)
+        n_alive = int(alive.sum())
+        # unfinished local pairs are redone remotely by survivors
+        lost_align = (1.0 - done) * (local_compute[d]
+                                     + remote_compute[d])
+        lost_oh = (1.0 - done) * (overhead_pre[d] + overhead_cb[d])
+        lost_comm = (1.0 - done) * (comm[d] + fault_stall[d])
+        for arr in (local_compute, remote_compute, overhead_pre,
+                    overhead_cb, comm, fault_stall):
+            arr[d] = arr[d] * done
+        remote_compute[alive] += lost_align / n_alive
+        overhead_cb[alive] += lost_oh / n_alive
+        comm[alive] += lost_comm / n_alive
+        moved = (1.0 - done) * float(assignment.tasks_per_rank[d])
+        tasks_redistributed += moved
+        redist_counts[alive] += moved / n_alive
+
+    return PullFaultOutcome(
+        local_compute, remote_compute, overhead_pre, overhead_cb, comm,
+        fault_stall, retry_counts, tasks_redistributed, redist_counts,
+        ranks_lost,
+    )
+
+
+def assemble_pull_phases(
+    ctx: ExecutionContext,
+    local_compute: np.ndarray,
+    overhead_pre: np.ndarray,
+    remote_compute: np.ndarray,
+    overhead_cb: np.ndarray,
+    comm: np.ndarray,
+    fault_stall: np.ndarray,
+    min_visible: float,
+    bar: float,
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Charge the three pull phases to the timers and emit their trace.
+
+    Timeline per rank (§3.2): local-pair compute overlapped with the
+    split-phase barrier, then pulls with callback compute (visible comm =
+    whatever compute could not hide, floored at ``min_visible``), then the
+    exit-barrier wait.  Returns ``(wall, busy, visible_comm)`` where
+    ``busy`` is the callback-phase compute available for hiding.
+    """
+    P = ctx.num_ranks
+    timers = ctx.timers
+
+    # --- phase A: local-pair compute overlapped with split barrier ---
+    phase_a_busy = local_compute + overhead_pre
+    phase_a_end = np.maximum(phase_a_busy, bar)
+    timers.add_array("compute_align", local_compute)
+    timers.add_array("compute_overhead", overhead_pre)
+    timers.add_array("sync", phase_a_end - phase_a_busy)
+
+    # --- phase B: pull remote reads, compute from callbacks ---
+    busy = remote_compute + overhead_cb
+    # even abundant computation cannot hide everything: callbacks bunch
+    # between application-level polls (§3.2), leaving a floor of
+    # visible latency
+    visible_comm = np.maximum(
+        comm - busy, min_visible * comm
+    ) + fault_stall
+    phase_b = busy + visible_comm
+    timers.add_array("compute_align", remote_compute)
+    timers.add_array("compute_overhead", overhead_cb)
+    timers.add_array("comm", visible_comm)
+
+    # --- exit barrier: everyone waits for the slowest rank ---
+    finish = phase_a_end + phase_b
+    wall = float(finish.max(initial=0.0)) + bar
+    timers.add_array("sync", wall - finish)
+
+    if ctx.tracer is not None:
+        ctx.tracer.instant(ENGINE_LANE, "split_barrier_release", bar)
+        ctx.tracer.instant(ENGINE_LANE, "exit_barrier",
+                           float(finish.max(initial=0.0)))
+        for i in range(P):
+            # phase A: local pairs + pre-overhead overlapped with the
+            # split barrier, idle gap (if any) is sync
+            la = float(local_compute[i])
+            pre = float(overhead_pre[i])
+            a_busy = float(phase_a_busy[i])
+            a_end = float(phase_a_end[i])
+            # phase B: callbacks + visible comm, then exit-barrier wait
+            rc = float(remote_compute[i])
+            cb = float(overhead_cb[i])
+            vis = float(visible_comm[i])
+            for cat, start, dur, label in (
+                ("compute_align", 0.0, la, "local-pairs"),
+                ("compute_overhead", la, pre, "index-build"),
+                ("sync", a_busy, a_end - a_busy, "split-barrier-wait"),
+                ("compute_align", a_end, rc, "callback-align"),
+                ("compute_overhead", a_end + rc, cb, "callback-overhead"),
+                ("comm", a_end + rc + cb, vis, "visible-pull"),
+                ("sync", float(finish[i]), wall - float(finish[i]),
+                 "exit-barrier"),
+            ):
+                if dur > 0:
+                    ctx.tracer.phase(i, cat, start, dur, name=label)
+
+    return wall, busy, visible_comm

@@ -19,27 +19,21 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.align.seedextend import SeedExtendAligner
-from repro.engines.async_ import (
-    ASYNC_TASK_RECORD_BYTES,
-    RUNTIME_BASE_MEMORY as ASYNC_BASE_MEMORY,
-)
 from repro.engines.base import EngineConfig, ExecutionMode
-from repro.engines.bsp import (
+from repro.engines.common import (
+    ASYNC_BASE_MEMORY,
+    ASYNC_TASK_RECORD_BYTES,
+    BSP_BASE_MEMORY,
     BSP_TASK_RECORD_BYTES,
-    BSPEngine,
-    RUNTIME_BASE_MEMORY as BSP_BASE_MEMORY,
+    bsp_num_rounds,
+    internode_fraction,
 )
-from repro.engines.report import RunResult, RuntimeBreakdown
+from repro.engines.harness import finish_run, resolve_tracer
+from repro.engines.registry import MICRO, register_engine
+from repro.engines.report import RunResult
 from repro.errors import ConfigurationError, RankFailureError
 from repro.machine.config import MachineSpec
-from repro.obs import (
-    MetricsRegistry,
-    Tracer,
-    assert_conserved,
-    check_breakdown,
-    check_trace,
-    get_default_tracer,
-)
+from repro.obs import MetricsRegistry, Tracer
 from repro.pipeline.workload import ConcreteWorkload
 from repro.runtime.collectives import Collectives
 from repro.runtime.context import SpmdContext
@@ -70,11 +64,7 @@ class _MicroBase:
                 "micro engines are message-level simulations; use the macro "
                 "engines beyond a few thousand ranks"
             )
-        tracer = tracer if tracer is not None else get_default_tracer()
-        if tracer is not None:
-            tracer.begin_run(
-                f"{self.name} {workload.name} nodes={machine.nodes} P={P}"
-            )
+        tracer = resolve_tracer(tracer, self.name, workload.name, machine)
         plan = workload.micro_plan(P)
         ctx = SpmdContext(machine, tracer=tracer, metrics=metrics,
                           faults=faults)
@@ -133,33 +123,20 @@ class _MicroBase:
         if ctx.faults is not None:
             details["faults_injected"] = ctx.faults.total_injected
             details["fault_kinds"] = dict(ctx.faults.injected)
-        breakdown = RuntimeBreakdown(
-            engine=name,
-            machine=machine,
-            workload=workload.name,
-            wall_time=wall_time,
-            compute_align=ctx.timers.get("compute_align"),
-            compute_overhead=ctx.timers.get("compute_overhead"),
-            comm=ctx.timers.get("comm"),
-            sync=ctx.timers.get("sync"),
-        )
-        # per-rank phase sums must tile the wall clock — both from the
-        # accumulators and, when traced, from the emitted event stream
-        assert_conserved(check_breakdown(breakdown))
-        if ctx.tracer is not None:
-            assert_conserved(
-                check_trace(ctx.tracer, breakdown.wall_time,
-                            machine.total_ranks)
-            )
-        return RunResult(
-            breakdown=breakdown,
-            memory_high_water=memory,
+        # the accumulator path reports through the conservation checker;
+        # the trace re-sum runs inside finish_run when a tracer is attached
+        return finish_run(
+            name, machine, workload.name, wall_time, ctx.timers, ctx.tracer,
+            memory=memory,
             exchange_rounds=rounds,
             alignments=alignments,
             details=details,
+            accumulator_check=True,
         )
 
 
+@register_engine("bsp-micro", kind=MICRO,
+                 description="message-level BSP rendezvous exchange")
 @dataclass
 class MicroBSPEngine(_MicroBase):
     """Message-level BSP: rendezvous alltoallv rounds + per-round compute."""
@@ -178,9 +155,9 @@ class MicroBSPEngine(_MicroBase):
         aligner = SeedExtendAligner() if kernel == "real" else None
         lengths = workload.read_lengths
         assignment = workload.assignment(P)
-        rounds = BSPEngine(config=self.config).num_rounds(machine, assignment)
+        rounds = bsp_num_rounds(self.config, machine, assignment)
         eff_scale = self.config.multiround_efficiency if rounds > 1 else 1.0
-        internode = 1.0 - 1.0 / machine.nodes
+        internode = internode_fraction(machine)
 
         # Static exchange plan: which (requester, read) pairs exist, and in
         # which round each read travels (deduplicated, §3.1).
@@ -274,6 +251,8 @@ class MicroBSPEngine(_MicroBase):
         )
 
 
+@register_engine("async-micro", kind=MICRO,
+                 description="message-level async pulls over the RPC layer")
 @dataclass
 class MicroAsyncEngine(_MicroBase):
     """Message-level async: pull RPCs + callbacks + split-phase barrier."""
@@ -294,7 +273,7 @@ class MicroAsyncEngine(_MicroBase):
         lengths = workload.read_lengths
         assignment = workload.assignment(P)
         window = self.config.async_window
-        internode = 1.0 - 1.0 / machine.nodes
+        internode = internode_fraction(machine)
 
         for r in range(P):
             # the handler returns the read (its id as a stand-in payload)

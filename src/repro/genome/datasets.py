@@ -25,9 +25,8 @@ Human CCS      Homo sapiens       1,148,839  87,621,409
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.genome.synth import (

@@ -7,11 +7,8 @@ persisting synthetic datasets and interoperating with external tools.
 
 from __future__ import annotations
 
-import io
 from pathlib import Path
-from typing import TextIO
 
-import numpy as np
 
 from repro.errors import SequenceError
 from repro.genome import alphabet

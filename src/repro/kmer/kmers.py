@@ -15,7 +15,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import SequenceError
-from repro.genome import alphabet
 
 __all__ = ["KmerExtractor", "canonical_kmers", "pack_kmers", "unpack_kmer"]
 

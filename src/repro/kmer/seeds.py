@@ -23,7 +23,7 @@ import numpy as np
 from repro.genome.sequence import ReadSet
 from repro.kmer.bella import BellaModel
 from repro.kmer.histogram import KmerHistogram, count_kmers
-from repro.kmer.kmers import KmerExtractor, pack_kmers, revcomp_packed
+from repro.kmer.kmers import pack_kmers, revcomp_packed
 from repro.utils.arrays import counts_to_offsets
 
 __all__ = ["Candidate", "SeedIndex", "CandidateGenerator"]

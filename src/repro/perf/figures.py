@@ -17,7 +17,7 @@ from repro.core.api import compare_engines, get_workload, make_machine, run_alig
 from repro.engines.base import EngineConfig
 from repro.genome.datasets import table1_rows
 from repro.utils.stats import summarize
-from repro.utils.units import GB, MB
+from repro.utils.units import MB
 
 __all__ = [
     "ECOLI_NODES",
@@ -36,6 +36,11 @@ __all__ = [
 
 ECOLI_NODES = (1, 2, 4, 8, 16, 32, 64, 128)
 HUMAN_NODES = (8, 16, 32, 64, 128, 256, 512)
+
+#: the paper's figures compare exactly its two implementations — pin them
+#: so newly registered engines (e.g. ``hybrid``) don't drift into the
+#: reproduced artifacts
+PAPER_ENGINES = ("bsp", "async")
 
 
 def _breakdown_row(engine: str, nodes: int, cores: int, res) -> list:
@@ -83,7 +88,8 @@ def fig3_intranode(workload: str = "ecoli30x", seed: int = 0,
     wl = get_workload(workload, seed=seed)
     rows = []
     for cores in (68, 64):
-        for engine, res in compare_engines(wl, 1, cores_per_node=cores).items():
+        for engine, res in compare_engines(wl, 1, cores_per_node=cores,
+                                         approaches=PAPER_ENGINES).items():
             rows.append(_breakdown_row(engine, 1, cores, res))
 
     scaling = []
@@ -110,7 +116,7 @@ def fig4_single_node(seed: int = 0) -> dict:
     rows = []
     for name in ("ecoli30x", "ecoli100x"):
         wl = get_workload(name, seed=seed)
-        for engine, res in compare_engines(wl, 1).items():
+        for engine, res in compare_engines(wl, 1, approaches=PAPER_ENGINES).items():
             row = _breakdown_row(engine, 1, 64, res)
             rows.append([name] + row)
     return {
@@ -196,7 +202,7 @@ def fig8_ecoli_scaling(nodes=ECOLI_NODES, seed: int = 0) -> dict:
     wl = get_workload("ecoli100x", seed=seed)
     rows = []
     for n in nodes:
-        results = compare_engines(wl, n)
+        results = compare_engines(wl, n, approaches=PAPER_ENGINES)
         norm = results["bsp"].wall_time
         for engine in ("bsp", "async"):
             res = results[engine]
@@ -217,7 +223,7 @@ def fig9_10_human_scaling(nodes=HUMAN_NODES, seed: int = 0) -> dict:
     wl = get_workload("human_ccs", seed=seed)
     rows = []
     for n in nodes:
-        results = compare_engines(wl, n)
+        results = compare_engines(wl, n, approaches=PAPER_ENGINES)
         norm = results["bsp"].wall_time
         for engine in ("bsp", "async"):
             res = results[engine]
@@ -238,7 +244,7 @@ def fig11_12_memory(nodes=HUMAN_NODES, seed: int = 0) -> dict:
     budget = make_machine(1).app_memory_per_rank
     rows = []
     for n in nodes:
-        results = compare_engines(wl, n)
+        results = compare_engines(wl, n, approaches=PAPER_ENGINES)
         a = wl.assignment(n * 64)
         rows.append([
             n, n * 64,
@@ -265,7 +271,7 @@ def fig13_datastructure(nodes=HUMAN_NODES, seed: int = 0) -> dict:
     wl = get_workload("human_ccs", seed=seed)
     rows = []
     for n in nodes:
-        results = compare_engines(wl, n)
+        results = compare_engines(wl, n, approaches=PAPER_ENGINES)
         bsp_oh = results["bsp"].breakdown.summary("compute_overhead").avg
         asy_oh = results["async"].breakdown.summary("compute_overhead").avg
         rows.append([

@@ -18,7 +18,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import PartitionError
-from repro.utils.arrays import counts_to_offsets
 
 __all__ = [
     "partition_reads_by_size",

@@ -22,7 +22,7 @@ seed — the substitution for the unavailable SRA datasets (DESIGN.md §2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -37,7 +37,13 @@ from repro.pipeline.partition import (
 )
 from repro.pipeline.tasks import TaskTable
 from repro.utils.arrays import segment_sums
+from repro.utils.cache import LruCache
 from repro.utils.rng import RngFactory
+
+#: per-workload cap on cached per-P renderings (assignments / micro plans);
+#: a sweep revisits each P many times, but rarely needs more than a handful
+#: of distinct rank counts live at once
+ASSIGNMENT_CACHE_CAP = 16
 
 __all__ = ["WorkloadAssignment", "MicroPlan", "ConcreteWorkload", "StatisticalWorkload"]
 
@@ -184,8 +190,8 @@ class ConcreteWorkload:
         self.tasks = tasks
         self.task_costs = np.asarray(task_costs, dtype=np.float64)
         self.read_lengths = reads.lengths.astype(np.int64)
-        self._cache: dict[int, WorkloadAssignment] = {}
-        self._plan_cache: dict[int, MicroPlan] = {}
+        self.assignment_cache: LruCache = LruCache(ASSIGNMENT_CACHE_CAP)
+        self._plan_cache: LruCache = LruCache(ASSIGNMENT_CACHE_CAP)
 
     @property
     def n_reads(self) -> int:
@@ -278,12 +284,12 @@ class ConcreteWorkload:
             owner_b=owner_b,
             remote_read=remote_read.astype(np.int64),
         )
-        self._plan_cache[num_ranks] = plan
+        self._plan_cache.put(num_ranks, plan)
         return plan
 
     def assignment(self, num_ranks: int) -> WorkloadAssignment:
-        """Render the per-rank arrays for ``num_ranks`` ranks (cached)."""
-        cached = self._cache.get(num_ranks)
+        """Render the per-rank arrays for ``num_ranks`` ranks (LRU-cached)."""
+        cached = self.assignment_cache.get(num_ranks)
         if cached is not None:
             return cached
 
@@ -326,7 +332,7 @@ class ConcreteWorkload:
             total_reads=self.n_reads,
             total_tasks=self.n_tasks,
         )
-        self._cache[num_ranks] = out
+        self.assignment_cache.put(num_ranks, out)
         return out
 
 
@@ -443,7 +449,7 @@ class StatisticalWorkload:
             target,
             self.rngs.stream("workload-block", 0xC0DE),
         )
-        self._cache: dict[int, WorkloadAssignment] = {}
+        self.assignment_cache: LruCache = LruCache(ASSIGNMENT_CACHE_CAP)
 
     # -- reads ---------------------------------------------------------------
 
@@ -476,7 +482,8 @@ class StatisticalWorkload:
     # -- per-P rendering -------------------------------------------------------
 
     def assignment(self, num_ranks: int) -> WorkloadAssignment:
-        cached = self._cache.get(num_ranks)
+        """Render the per-rank arrays for ``num_ranks`` ranks (LRU-cached)."""
+        cached = self.assignment_cache.get(num_ranks)
         if cached is not None:
             return cached
 
@@ -568,5 +575,5 @@ class StatisticalWorkload:
             total_reads=n_reads,
             total_tasks=n_tasks,
         )
-        self._cache[num_ranks] = out
+        self.assignment_cache.put(num_ranks, out)
         return out

@@ -1,0 +1,97 @@
+"""A small, counted LRU cache.
+
+Used to bound the memoization that used to grow without limit: the driver
+API's workload cache and the per-rank-count ``assignment``/``micro_plan``
+caches inside the workload classes.  Entries are cheap to rebuild, so the
+caps can stay small; the hit/miss/eviction counters exist so tests (and
+``scaling_sweep``) can *prove* reuse — e.g. that a three-node-count sweep
+computes each assignment exactly once.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LruCache"]
+
+_MISSING = object()
+
+
+class LruCache:
+    """Least-recently-used mapping with a fixed capacity and counters.
+
+    ``get`` refreshes recency; inserting beyond ``maxsize`` evicts the
+    least recently used entry.  ``hits`` / ``misses`` / ``evictions``
+    count since construction or the last :meth:`clear`.
+    """
+
+    def __init__(self, maxsize: int = 8):
+        if maxsize < 1:
+            raise ConfigurationError("LruCache maxsize must be >= 1")
+        self.maxsize = int(maxsize)
+        self._data: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def get(self, key, default=None):
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def get_or_create(self, key, factory):
+        """Cached value for ``key``, building it with ``factory()`` on miss."""
+        value = self._data.get(key, _MISSING)
+        if value is not _MISSING:
+            self.hits += 1
+            self._data.move_to_end(key)
+            return value
+        self.misses += 1
+        value = factory()
+        self.put(key, value)
+        return value
+
+    def resize(self, maxsize: int) -> None:
+        """Change capacity, evicting LRU entries if shrinking."""
+        if maxsize < 1:
+            raise ConfigurationError("LruCache maxsize must be >= 1")
+        self.maxsize = int(maxsize)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

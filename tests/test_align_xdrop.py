@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.align.dp import extension_score_full
-from repro.align.scoring import ScoringScheme
 from repro.align.xdrop import XDropExtender
 from repro.errors import AlignmentError
 from repro.genome import alphabet

@@ -82,7 +82,8 @@ def test_compare_trace_two_runs(tmp_path, capsys):
     assert rc == 0
     doc = json.loads(trace.read_text())
     pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "X"}
-    assert pids == {0, 1}  # bsp and async as separate trace processes
+    # bsp, async, hybrid as separate trace processes
+    assert pids == {0, 1, 2}
 
 
 def test_parser_rejects_unknown():

@@ -11,7 +11,6 @@ from repro.core.api import (
     run_alignment,
     scaling_sweep,
 )
-from repro.engines.base import EngineConfig
 from repro.engines.report import PhaseTimers, RuntimeBreakdown
 from repro.errors import ConfigurationError, SimulationError
 from repro.machine.config import cori_knl
@@ -44,9 +43,11 @@ def test_run_alignment_and_compare():
     res = run_alignment(wl, nodes=2, approach="bsp")
     assert res.wall_time > 0
     both = compare_engines(wl, nodes=2)
-    assert set(both) == {"bsp", "async"}
+    assert set(both) == {"bsp", "async", "hybrid"}
     for r in both.values():
         r.breakdown.validate()
+    pinned = compare_engines(wl, nodes=2, approaches=("bsp", "async"))
+    assert set(pinned) == {"bsp", "async"}
 
 
 def test_run_alignment_unknown_approach():

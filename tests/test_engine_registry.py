@@ -1,0 +1,204 @@
+"""Registry coverage: every registered engine runs, conserves, and is
+reachable from the CLI; config validation; workload-cache accounting."""
+
+import pytest
+
+from repro.cli import build_parser
+from repro.core.api import (
+    ENGINES,
+    clear_workload_cache,
+    get_workload,
+    run_alignment,
+    scaling_sweep,
+    set_workload_cache_cap,
+    workload_cache_stats,
+)
+from repro.engines import (
+    AsyncEngine,
+    BSPEngine,
+    EngineConfig,
+    HybridEngine,
+    MicroAsyncEngine,
+    MicroBSPEngine,
+)
+from repro.engines.registry import (
+    MACRO,
+    MICRO,
+    available_engines,
+    create_engine,
+    get_engine,
+    register_engine,
+)
+from repro.errors import ConfigurationError
+from repro.faults import parse_fault_spec
+from repro.machine.config import cori_knl
+from repro.obs import MetricsRegistry, assert_conserved, check_breakdown
+from repro.utils.cache import LruCache
+
+ALL_ENGINES = ("bsp", "async", "bsp-micro", "async-micro", "hybrid")
+
+
+# -- registry contents ------------------------------------------------------
+
+def test_registration_order_and_kinds():
+    assert available_engines() == ALL_ENGINES
+    assert available_engines(kind=MACRO) == ("bsp", "async", "hybrid")
+    assert available_engines(kind=MICRO) == ("bsp-micro", "async-micro")
+    assert get_engine("bsp").factory is BSPEngine
+    assert get_engine("async").factory is AsyncEngine
+    assert get_engine("hybrid").factory is HybridEngine
+    assert get_engine("bsp-micro").factory is MicroBSPEngine
+    assert get_engine("async-micro").factory is MicroAsyncEngine
+
+
+def test_engines_view_tracks_registry():
+    assert set(ENGINES) == set(ALL_ENGINES)
+    assert len(ENGINES) == len(ALL_ENGINES)
+    assert ENGINES["hybrid"] is HybridEngine
+    with pytest.raises(KeyError):
+        ENGINES["mpi"]
+
+
+def test_unknown_name_clean_error():
+    with pytest.raises(ConfigurationError, match="unknown approach 'mpi'"):
+        get_engine("mpi")
+    with pytest.raises(ConfigurationError, match="choose from"):
+        create_engine("upc")
+    wl = get_workload("micro", seed=0)
+    with pytest.raises(ConfigurationError, match="unknown approach"):
+        run_alignment(wl, 1, approach="openmp", cores_per_node=4)
+
+
+def test_duplicate_registration_raises():
+    with pytest.raises(ConfigurationError, match="already registered"):
+        @register_engine("bsp")
+        class Impostor:
+            pass
+
+
+def test_bad_kind_raises():
+    with pytest.raises(ConfigurationError, match="kind"):
+        register_engine("novel", kind="quantum")
+
+
+def test_create_engine_passes_config():
+    cfg = EngineConfig(seed=42)
+    eng = create_engine("hybrid", cfg)
+    assert isinstance(eng, HybridEngine)
+    assert eng.config.seed == 42
+    assert isinstance(create_engine("bsp").config, EngineConfig)
+
+
+# -- every engine runs a tiny workload, conserved, same task count ----------
+
+@pytest.mark.parametrize("name", ALL_ENGINES)
+def test_every_engine_runs_and_conserves(name):
+    wl = get_workload("micro", seed=0)
+    machine = cori_knl(2, app_cores_per_node=4)
+    metrics = MetricsRegistry(machine.total_ranks)
+    res = run_alignment(wl, nodes=2, approach=name, cores_per_node=4,
+                        metrics=metrics)
+    assert res.wall_time > 0
+    assert_conserved(check_breakdown(res.breakdown))
+    # identical inputs: every strategy processes exactly the same tasks
+    assert int(metrics.get("tasks").sum()) == wl.n_tasks
+
+
+@pytest.mark.parametrize("name", ALL_ENGINES)
+def test_every_engine_in_cli_choices(name):
+    args = build_parser().parse_args(
+        ["run", "--workload", "micro", "--approach", name]
+    )
+    assert args.approach == name
+
+
+def test_cli_engine_alias_and_rejection():
+    args = build_parser().parse_args(["run", "--engine", "hybrid"])
+    assert args.approach == "hybrid"
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--approach", "mpi"])
+
+
+# -- EngineConfig validation -------------------------------------------------
+
+@pytest.mark.parametrize("kwargs", [
+    {"multiround_efficiency": 0.0},
+    {"multiround_efficiency": -0.5},
+    {"multiround_efficiency": 1.2},
+    {"noise_fraction": -0.01},
+    {"hybrid_aggregation": 0},
+    {"hybrid_aggregation": -4},
+])
+def test_config_validation_rejects(kwargs):
+    with pytest.raises(ConfigurationError):
+        EngineConfig(**kwargs)
+
+
+def test_config_validation_accepts_boundaries():
+    EngineConfig(multiround_efficiency=1.0, noise_fraction=0.0,
+                 hybrid_aggregation=1)
+
+
+# -- LRU cache + sweep reuse -------------------------------------------------
+
+def test_lru_cache_semantics():
+    c = LruCache(maxsize=2)
+    c.put("a", 1)
+    c.put("b", 2)
+    assert c.get("a") == 1            # refreshes 'a'
+    c.put("c", 3)                     # evicts 'b' (LRU)
+    assert c.get("b") is None
+    assert c.get("a") == 1 and c.get("c") == 3
+    assert c.stats() == {"size": 2, "maxsize": 2, "hits": 3, "misses": 1,
+                         "evictions": 1}
+    c.resize(1)
+    assert len(c) == 1 and c.evictions == 2
+    c.clear()
+    assert c.stats()["hits"] == 0 and len(c) == 0
+    with pytest.raises(ConfigurationError):
+        LruCache(maxsize=0)
+
+
+def test_workload_cache_bounded_and_counted():
+    clear_workload_cache()
+    set_workload_cache_cap(2)
+    try:
+        get_workload("micro", seed=0)
+        get_workload("micro", seed=0)      # hit
+        get_workload("micro", seed=1)
+        get_workload("micro", seed=2)      # evicts seed=0
+        stats = workload_cache_stats()
+        assert stats["maxsize"] == 2
+        assert stats["size"] == 2
+        assert stats["hits"] == 1
+        assert stats["evictions"] == 1
+    finally:
+        clear_workload_cache()
+        set_workload_cache_cap(8)
+
+
+def test_sweep_computes_each_assignment_once():
+    wl = get_workload("ecoli30x", seed=0)
+    wl.assignment_cache.clear()
+    node_counts = [1, 2, 4]
+    metrics: dict = {}
+    plan = parse_fault_spec("drop=0.01,xchg_drop=0.1")
+    out = scaling_sweep(wl, node_counts, cores_per_node=4,
+                        metrics=metrics, fault_plan=plan, fault_seed=1)
+    approaches = available_engines(kind=MACRO)
+    assert set(out) == set(approaches)
+    stats = wl.assignment_cache.stats()
+    # one render per node count; every other approach reuses it
+    assert stats["misses"] == len(node_counts)
+    assert stats["hits"] == len(node_counts) * (len(approaches) - 1)
+    # the caller-supplied dict got one correctly sized registry per size
+    assert set(metrics) == set(node_counts)
+    for nodes, reg in metrics.items():
+        assert reg.num_ranks == nodes * 4
+        assert reg.get("tasks").sum() > 0
+
+
+def test_sweep_rejects_unknown_approach_before_running():
+    wl = get_workload("micro", seed=0)
+    with pytest.raises(ConfigurationError, match="unknown approach"):
+        scaling_sweep(wl, [1], approaches=("bsp", "nope"), cores_per_node=4)

@@ -394,7 +394,7 @@ def test_compare_engines_same_plan_both_engines():
     plan = parse_fault_spec("drop=0.02,xchg_drop=0.5")
     results = compare_engines(wl, nodes=2, cores_per_node=4,
                               fault_plan=plan, fault_seed=1)
-    assert set(results) == {"bsp", "async"}
+    assert set(results) == {"bsp", "async", "hybrid"}
     for res in results.values():
         assert res.details["fault_plan"] == plan.describe()
 

@@ -1,0 +1,79 @@
+"""The CI import-hygiene check, run as a test.
+
+Mirrors ``tools/check_imports.py``: the real source tree must have no
+module-level import cycles and none of the banned cross-imports (engine
+siblings; utils reaching up the stack).  The synthetic cases prove the
+checker actually detects what it claims to.
+"""
+
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_imports  # noqa: E402
+
+
+def test_source_tree_is_clean():
+    problems = check_imports.run(REPO_ROOT / "src")
+    assert problems == []
+
+
+def test_engine_modules_do_not_cross_import():
+    graph = check_imports.build_graph(REPO_ROOT / "src")
+    for name in check_imports.ENGINE_IMPLS:
+        assert name in graph, f"engine module {name} missing from graph"
+        crossed = graph[name] & check_imports.ENGINE_IMPLS
+        assert not crossed, f"{name} imports sibling engine(s) {crossed}"
+
+
+def _write_pkg(root: Path, files: dict[str, str]) -> Path:
+    for rel, body in files.items():
+        path = root / "repro" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(body))
+    return root
+
+
+def test_detects_cycle(tmp_path):
+    _write_pkg(tmp_path, {
+        "__init__.py": "",
+        "a.py": "from repro.b import thing\n",
+        "b.py": "from repro.a import other\n",
+    })
+    problems = check_imports.run(tmp_path)
+    assert any("import cycle" in p for p in problems)
+
+
+def test_function_local_import_breaks_cycle(tmp_path):
+    _write_pkg(tmp_path, {
+        "__init__.py": "",
+        "a.py": "from repro.b import thing\n",
+        "b.py": "def f():\n    from repro.a import other\n    return other\n",
+    })
+    assert check_imports.run(tmp_path) == []
+
+
+def test_detects_banned_sibling_engine_import(tmp_path):
+    _write_pkg(tmp_path, {
+        "__init__.py": "",
+        "engines/__init__.py": "",
+        "engines/bsp.py": "from repro.engines.async_ import x\n",
+        "engines/async_.py": "",
+    })
+    problems = check_imports.run(tmp_path)
+    assert any("sibling engine" in p for p in problems)
+
+
+def test_detects_utils_layering_violation(tmp_path):
+    _write_pkg(tmp_path, {
+        "__init__.py": "",
+        "utils/__init__.py": "",
+        "utils/helper.py": "from repro.core.api import run_alignment\n",
+        "core/__init__.py": "",
+        "core/api.py": "",
+    })
+    problems = check_imports.run(tmp_path)
+    assert any("bottom layer" in p for p in problems)

@@ -7,6 +7,8 @@ rest on must match: total alignment work exactly, wall time and the
 BSP round count closely, and the Async < BSP memory ordering.
 """
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -14,8 +16,10 @@ from repro.core.api import get_workload
 from repro.engines.async_ import AsyncEngine
 from repro.engines.base import EngineConfig
 from repro.engines.bsp import BSPEngine
+from repro.engines.hybrid import HybridEngine
 from repro.engines.micro import MicroAsyncEngine, MicroBSPEngine
 from repro.machine.config import cori_knl
+from repro.obs import MetricsRegistry
 
 CONFIG = EngineConfig(noise_fraction=0.0)
 
@@ -93,3 +97,47 @@ def test_memory_ordering_consistent(wl, machine):
     assert micro_async.max_memory_per_rank == pytest.approx(
         macro_async.max_memory_per_rank, rel=1.0
     )
+
+
+# -- hybrid vs async: the §5 aggregation deltas -----------------------------
+
+def test_hybrid_degenerates_to_async_at_aggregation_one(wl, machine):
+    """At batch size 1 the hybrid model has no aggregation win and no batch
+    fill stall: it must not beat the plain async engine (it is the async
+    engine, to the last bit)."""
+    a = wl.assignment(machine.total_ranks)
+    cfg = replace(CONFIG, hybrid_aggregation=1)
+    asy = AsyncEngine(config=cfg).run(a, machine)
+    hyb = HybridEngine(config=cfg).run(a, machine)
+    assert hyb.wall_time >= asy.wall_time
+    assert hyb.wall_time == pytest.approx(asy.wall_time, rel=1e-12)
+    np.testing.assert_allclose(
+        hyb.breakdown.comm, asy.breakdown.comm, rtol=1e-12
+    )
+
+
+def test_hybrid_sends_fewer_rpc_messages(wl, machine):
+    """At aggregation > 1 the hybrid issues ~1/agg the RPCs of async for
+    the same pulled bytes."""
+    a = wl.assignment(machine.total_ranks)
+    m_async = MetricsRegistry(machine.total_ranks)
+    m_hyb = MetricsRegistry(machine.total_ranks)
+    AsyncEngine(config=CONFIG).run(a, machine, metrics=m_async)
+    hyb = HybridEngine(config=CONFIG).run(a, machine, metrics=m_hyb)
+    async_msgs = m_async.get("rpc_issued").sum()
+    hybrid_msgs = m_hyb.get("rpc_issued").sum()
+    assert CONFIG.hybrid_aggregation > 1
+    assert hybrid_msgs < async_msgs
+    assert hyb.details["rpc_messages"] == pytest.approx(hybrid_msgs)
+    # same bytes travel either way — aggregation divides messages, not data
+    np.testing.assert_allclose(
+        m_hyb.get("rpc_bytes"), m_async.get("rpc_bytes")
+    )
+
+
+def test_hybrid_conserves_and_reports_aggregation(wl, machine):
+    a = wl.assignment(machine.total_ranks)
+    res = HybridEngine(config=CONFIG).run(a, machine)
+    res.breakdown.validate()
+    assert res.details["aggregation"] == CONFIG.hybrid_aggregation
+    assert res.exchange_rounds == 0  # no supersteps: still an async engine

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.core.api import get_workload, make_machine, run_alignment
-from repro.engines.base import EngineConfig
 from repro.engines.report import CATEGORIES, RuntimeBreakdown
 from repro.errors import AccountingError, SimulationError
 from repro.machine.config import cori_knl

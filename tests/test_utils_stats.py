@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.utils.stats import Summary, load_imbalance, summarize
+from repro.utils.stats import load_imbalance, summarize
 from repro.utils.units import fmt_bytes, fmt_time, GIB, MIB, HOUR, MS, US
 
 

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Static import-hygiene check for ``src/repro``.
+
+Two classes of violation, both enforced in CI (and mirrored by
+``tests/test_import_hygiene.py``):
+
+1. **Import cycles** anywhere in the package — found on the module-level
+   import graph built from the AST (function-local imports are ignored;
+   deferring an import inside a function is the sanctioned way to break a
+   genuine runtime cycle).
+
+2. **Banned cross-imports** that the engine refactor removed and must not
+   creep back:
+
+   * engine implementation modules (``bsp``, ``async_``, ``micro``,
+     ``hybrid``) may not import one another — shared math belongs in
+     ``engines.common``, shared wiring in ``engines.harness``;
+   * ``repro.utils`` is the bottom layer: it may import only itself and
+     ``repro.errors``.
+
+Usage: ``python tools/check_imports.py [src-root]`` — exits nonzero and
+prints one line per violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+PACKAGE = "repro"
+
+#: engine implementation modules that must stay siblings (no cross-imports)
+ENGINE_IMPLS = {
+    "repro.engines.bsp",
+    "repro.engines.async_",
+    "repro.engines.micro",
+    "repro.engines.hybrid",
+}
+
+
+def module_name(path: Path, src_root: Path) -> str:
+    rel = path.relative_to(src_root).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def module_level_imports(
+    tree: ast.Module, current: str
+) -> list[tuple[str, tuple[str, ...]]]:
+    """Module-level import statements as ``(module, imported_names)``.
+
+    ``imported_names`` is empty for plain ``import X`` statements.
+    """
+    out: list[tuple[str, tuple[str, ...]]] = []
+    for node in ast.iter_child_nodes(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == PACKAGE:
+                    out.append((alias.name, ()))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = current.split(".")
+                base = base[: len(base) - node.level + 1]
+                mod = ".".join(base + ([node.module] if node.module else []))
+            else:
+                mod = node.module or ""
+            if mod.split(".")[0] == PACKAGE:
+                out.append((mod, tuple(a.name for a in node.names)))
+    return out
+
+
+def build_graph(src_root: Path) -> dict[str, set[str]]:
+    raw: dict[str, list[tuple[str, tuple[str, ...]]]] = {}
+    for path in sorted((src_root / PACKAGE).rglob("*.py")):
+        name = module_name(path, src_root)
+        tree = ast.parse(path.read_text(), filename=str(path))
+        raw[name] = module_level_imports(tree, name)
+    known = set(raw)
+    graph: dict[str, set[str]] = {}
+    for name, statements in raw.items():
+        deps: set[str] = set()
+        for mod, imported in statements:
+            if not imported:
+                if mod in known:
+                    deps.add(mod)
+                continue
+            for sym in imported:
+                # `from X import name` importing the submodule X.name
+                # depends on that submodule, not on package X's __init__
+                sub = f"{mod}.{sym}"
+                deps.add(sub if sub in known else mod)
+        graph[name] = {d for d in deps if d in known and d != name}
+    return graph
+
+
+def find_cycles(graph: dict[str, set[str]]) -> list[list[str]]:
+    """All elementary cycles reachable via DFS (reported once each)."""
+    cycles: list[list[str]] = []
+    seen_cycles: set[tuple[str, ...]] = set()
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {m: WHITE for m in graph}
+    stack: list[str] = []
+
+    def visit(m: str) -> None:
+        color[m] = GREY
+        stack.append(m)
+        for dep in sorted(graph[m]):
+            if color[dep] == GREY:
+                cycle = stack[stack.index(dep):] + [dep]
+                key = tuple(sorted(set(cycle)))
+                if key not in seen_cycles:
+                    seen_cycles.add(key)
+                    cycles.append(cycle)
+            elif color[dep] == WHITE:
+                visit(dep)
+        stack.pop()
+        color[m] = BLACK
+
+    for m in sorted(graph):
+        if color[m] == WHITE:
+            visit(m)
+    return cycles
+
+
+def banned_imports(graph: dict[str, set[str]]) -> list[str]:
+    problems: list[str] = []
+    for name, deps in sorted(graph.items()):
+        if name in ENGINE_IMPLS:
+            for dep in sorted(deps & ENGINE_IMPLS):
+                problems.append(
+                    f"{name} imports sibling engine {dep}; move shared code "
+                    f"into repro.engines.common or repro.engines.harness"
+                )
+        if name.startswith("repro.utils"):
+            for dep in sorted(deps):
+                if not (dep.startswith("repro.utils")
+                        or dep == "repro.errors"):
+                    problems.append(
+                        f"{name} imports {dep}; repro.utils is the bottom "
+                        f"layer and may only import repro.errors"
+                    )
+    return problems
+
+
+def run(src_root: Path) -> list[str]:
+    graph = build_graph(src_root)
+    problems = [
+        "import cycle: " + " -> ".join(c) for c in find_cycles(graph)
+    ]
+    problems += banned_imports(graph)
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    src_root = Path(argv[1]) if len(argv) > 1 else Path("src")
+    problems = run(src_root)
+    for p in problems:
+        print(f"error: {p}", file=sys.stderr)
+    if not problems:
+        graph = build_graph(src_root)
+        print(f"import hygiene OK: {len(graph)} modules, no cycles, "
+              f"no banned imports")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
