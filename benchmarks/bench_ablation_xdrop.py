@@ -11,7 +11,7 @@ import numpy as np
 
 from conftest import emit, run_once
 
-from repro.align.xdrop import XDropExtender
+from repro.align.batch import BatchedXDropExtender
 from repro.genome import alphabet
 from repro.genome.synth import ErrorModel
 
@@ -28,8 +28,8 @@ def sweep():
 
     rows = []
     for x in XS:
-        ext = XDropExtender(x_drop=x)
-        results = [ext.extend(a, b) for a, b in pairs]
+        # batched wavefront path, bit-identical to per-pair extend()
+        results = BatchedXDropExtender(x_drop=x).extend_batch(pairs)
         rows.append([
             x,
             round(float(np.mean([r.score for r in results])), 1),

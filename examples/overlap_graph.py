@@ -30,8 +30,9 @@ def main() -> None:
     model = BellaModel(coverage=spec.coverage, error_rate=spec.error_rate, k=13)
     candidates = CandidateGenerator(k=13, model=model).generate(reads)
     aligner = SeedExtendAligner(x_drop=20)
-    alignments = [aligner.align_candidate(reads, c) for c in candidates]
-    print(f"{len(candidates)} candidates aligned")
+    # all candidates extend together in one batched wavefront pass
+    alignments = aligner.align_candidates(reads, candidates)
+    print(f"{len(candidates)} candidates aligned (one batch)")
 
     # keep alignments that clearly extend beyond the seed ("only those
     # alignments which meet or exceed the scoring criteria are saved")

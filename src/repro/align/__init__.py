@@ -9,6 +9,7 @@ anchor points (E. coli 30x in ~1 hour on one KNL core).
 
 from repro.align.scoring import ScoringScheme, DEFAULT_SCORING
 from repro.align.xdrop import XDropExtender, ExtensionResult
+from repro.align.batch import BatchedXDropExtender
 from repro.align.dp import needleman_wunsch, smith_waterman, extension_score_full
 from repro.align.seedextend import SeedExtendAligner, Alignment
 from repro.align.cost import AlignmentCostModel, KNL_CELL_RATE
@@ -17,6 +18,7 @@ __all__ = [
     "ScoringScheme",
     "DEFAULT_SCORING",
     "XDropExtender",
+    "BatchedXDropExtender",
     "ExtensionResult",
     "needleman_wunsch",
     "smith_waterman",

@@ -1,0 +1,234 @@
+"""Batched wavefront X-drop: extend many pairs per antidiagonal step.
+
+The scalar kernel (:mod:`repro.align.xdrop`) pays Python/numpy dispatch
+overhead per pair per antidiagonal, which dominates wall-clock in the
+pure-python reproduction even though the paper's cost model counts only DP
+cells (§4.2).  This module amortizes that overhead the way GPU ports of the
+kernel do (LOGAN-style batching, PAPERS.md): ``B`` extensions advance in
+lockstep behind **one shared antidiagonal counter**, with each step
+computing one ``(B_active, window)`` block of cells.
+
+Per pair the kernel keeps the scalar state — live-window bounds, the two
+trailing wavefront rows, best score/position, cell and antidiagonal
+counters — as rows of padded 2-D arrays.  Pairs terminate independently
+(window death, X-drop kill, or exhaustion) and finished pairs are compacted
+out of the active set, so a batch mixing early-terminating false positives
+with long true overlaps never pays for the dead rows.
+
+Results are **bit-identical** to running :class:`~repro.align.xdrop.
+XDropExtender` per pair (same scores, extents, cells, antidiagonal counts,
+early-termination flags): the cost model and every paper figure consume
+those numbers, so the batch is an execution strategy, not an approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.align.scoring import DEFAULT_SCORING, ScoringScheme
+from repro.align.xdrop import ExtensionResult, _NEG
+from repro.errors import AlignmentError
+
+__all__ = ["BatchedXDropExtender"]
+
+
+def _gather_rows(vals: np.ndarray, vals_lo: np.ndarray, vals_len: np.ndarray,
+                 want_lo: np.ndarray, width: int) -> np.ndarray:
+    """Per-row diagonal gather: row r gets ``vals[r]`` at indices
+    ``[want_lo[r], want_lo[r] + width)``, NEG-filled outside the stored span.
+
+    The 2-D analogue of the scalar kernel's ``_gather``.
+    """
+    rows = vals.shape[0]
+    if vals.shape[1] == 0:
+        return np.full((rows, width), _NEG, dtype=np.int64)
+    col = want_lo[:, None] + np.arange(width, dtype=np.int64)[None, :] \
+        - vals_lo[:, None]
+    ok = (col >= 0) & (col < vals_len[:, None])
+    np.clip(col, 0, vals.shape[1] - 1, out=col)
+    out = np.take_along_axis(vals, col, axis=1)
+    out[~ok] = _NEG
+    return out
+
+
+@dataclass(frozen=True)
+class BatchedXDropExtender:
+    """X-drop extension of a whole batch of pairs, one antidiagonal at a time.
+
+    Same parameters as :class:`~repro.align.xdrop.XDropExtender`; one
+    instance serves any number of :meth:`extend_batch` calls.
+    """
+
+    x_drop: int = 15
+    scoring: ScoringScheme = DEFAULT_SCORING
+
+    def __post_init__(self) -> None:
+        if self.x_drop < 0:
+            raise AlignmentError("x_drop must be nonnegative")
+
+    def extend_batch(
+        self, pairs: Sequence[tuple[np.ndarray, np.ndarray]]
+    ) -> list[ExtensionResult]:
+        """Extend every ``(a, b)`` pair rightward from position 0.
+
+        Inputs follow :meth:`XDropExtender.extend`: suffix code arrays
+        beyond the seed (or reversed prefixes for leftward extensions).
+        Returns one :class:`ExtensionResult` per pair, in input order.
+        """
+        results: list[ExtensionResult | None] = [None] * len(pairs)
+        seqs_a: list[np.ndarray] = []
+        seqs_b: list[np.ndarray] = []
+        orig_ids: list[int] = []
+        for p, (a, b) in enumerate(pairs):
+            a = np.asarray(a, dtype=np.uint8)
+            b = np.asarray(b, dtype=np.uint8)
+            if a.size == 0 or b.size == 0:
+                # As in the scalar kernel: only pure-gap extensions exist
+                # and they score negatively, so the empty extension wins.
+                results[p] = ExtensionResult(0, 0, 0, 0, 0, False)
+            else:
+                orig_ids.append(p)
+                seqs_a.append(a)
+                seqs_b.append(b)
+        if not orig_ids:
+            return results  # type: ignore[return-value]
+
+        table = self.scoring.substitution_table
+        gap = np.int64(self.scoring.gap)
+        x = np.int64(self.x_drop)
+
+        k0 = len(orig_ids)
+        orig = np.array(orig_ids, dtype=np.int64)
+        m = np.array([a.size for a in seqs_a], dtype=np.int64)
+        n = np.array([b.size for b in seqs_b], dtype=np.int64)
+
+        # Shifted sequence lookups packed flat: row r's a-codes live at
+        # a_off[r] + i with a_flat[a_off[r] + i] == a[max(i - 1, 0)].
+        a_flat = np.concatenate([np.concatenate((a[:1], a)) for a in seqs_a])
+        b_flat = np.concatenate([np.concatenate((b[:1], b)) for b in seqs_b])
+        a_off = np.zeros(k0, dtype=np.int64)
+        np.cumsum(m[:-1] + 1, out=a_off[1:])
+        b_off = np.zeros(k0, dtype=np.int64)
+        np.cumsum(n[:-1] + 1, out=b_off[1:])
+
+        # Per-pair scalar state, vectorized across the active set.
+        win_lo = np.zeros(k0, dtype=np.int64)
+        win_hi = np.ones(k0, dtype=np.int64)
+        best = np.zeros(k0, dtype=np.int64)
+        best_i = np.zeros(k0, dtype=np.int64)
+        best_j = np.zeros(k0, dtype=np.int64)
+        cells = np.zeros(k0, dtype=np.int64)
+
+        # Trailing wavefront rows as padded 2-D blocks + per-row (lo, len).
+        prev = np.zeros((k0, 1), dtype=np.int64)       # diagonal d-1
+        prev_lo = np.zeros(k0, dtype=np.int64)
+        prev_len = np.ones(k0, dtype=np.int64)
+        prev2 = np.zeros((k0, 0), dtype=np.int64)      # diagonal d-2
+        prev2_lo = np.zeros(k0, dtype=np.int64)
+        prev2_len = np.zeros(k0, dtype=np.int64)
+
+        d = 0
+
+        def finish(rows: np.ndarray, early: np.ndarray) -> None:
+            """Record results for active rows that terminate at diagonal d."""
+            for r in rows:
+                results[int(orig[r])] = ExtensionResult(
+                    score=int(best[r]),
+                    length_a=int(best_i[r]),
+                    length_b=int(best_j[r]),
+                    cells=int(cells[r]),
+                    antidiagonals=d - 1,
+                    terminated_early=bool(early[r]),
+                )
+
+        while orig.size:
+            d += 1
+            mn = m + n
+
+            # Termination before computing diagonal d: natural exhaustion
+            # (d > m+n, not early) or a dead window (lo > hi, early).
+            lo = np.maximum(np.maximum(win_lo, 0), d - n)
+            hi = np.minimum(np.minimum(win_hi, d), m)
+            exhausted = d > mn
+            dead = ~exhausted & (lo > hi)
+            fin = exhausted | dead
+            if fin.any():
+                finish(np.nonzero(fin)[0], dead)
+                keep = ~fin
+                (orig, m, n, a_off, b_off, win_lo, win_hi, best, best_i,
+                 best_j, cells, mn, lo, hi, prev_lo, prev_len, prev2_lo,
+                 prev2_len) = (
+                    arr[keep] for arr in (
+                        orig, m, n, a_off, b_off, win_lo, win_hi, best,
+                        best_i, best_j, cells, mn, lo, hi, prev_lo,
+                        prev_len, prev2_lo, prev2_len))
+                prev = prev[keep]
+                prev2 = prev2[keep]
+                if not orig.size:
+                    break
+
+            count = hi - lo + 1
+            width = int(count.max())
+            cols = np.arange(width, dtype=np.int64)
+            valid = cols[None, :] < count[:, None]
+            i_vals = lo[:, None] + cols[None, :]
+
+            # Moves: up (i-1, j) and left (i, j-1) live on diagonal d-1 at
+            # indices i-1 and i; diagonal (i-1, j-1) lives on d-2 at i-1.
+            up = _gather_rows(prev, prev_lo, prev_len, lo - 1, width)
+            up += gap
+            left = _gather_rows(prev, prev_lo, prev_len, lo, width)
+            left += gap
+            diag = _gather_rows(prev2, prev2_lo, prev2_len, lo - 1, width)
+
+            # Padded columns index past the window; clamp them into range
+            # (their cells are forced dead below, the codes don't matter).
+            ai = a_flat[a_off[:, None] + np.minimum(i_vals, m[:, None])]
+            bj = b_flat[b_off[:, None]
+                        + np.clip(d - i_vals, 0, n[:, None])]
+            diag += table[ai, bj]
+
+            cur = np.maximum(np.maximum(up, left), diag)
+            cur[~valid] = _NEG
+            cells += count
+
+            cmax = cur.max(axis=1)
+            karg = cur.argmax(axis=1)
+            improved = cmax > best
+            bi = lo + karg
+            best = np.where(improved, cmax, best)
+            best_i = np.where(improved, bi, best_i)
+            best_j = np.where(improved, d - bi, best_j)
+
+            live = cur >= (best - x)[:, None]
+            live &= valid
+            has_live = live.any(axis=1)
+            if not has_live.all():
+                # X-drop killed the whole window: early unless the pair was
+                # already on its final antidiagonal.
+                finish(np.nonzero(~has_live)[0], d < mn)
+                keep = has_live
+                (orig, m, n, a_off, b_off, best, best_i, best_j, cells,
+                 lo, count) = (
+                    arr[keep] for arr in (
+                        orig, m, n, a_off, b_off, best, best_i, best_j,
+                        cells, lo, count))
+                live = live[keep]
+                cur = cur[keep]
+                prev = prev[keep]
+                prev_lo, prev_len = prev_lo[keep], prev_len[keep]
+                if not orig.size:
+                    break
+
+            first = live.argmax(axis=1)
+            last = live.shape[1] - 1 - live[:, ::-1].argmax(axis=1)
+            win_lo = lo + first
+            win_hi = lo + last + 1
+
+            prev2, prev2_lo, prev2_len = prev, prev_lo, prev_len
+            prev, prev_lo, prev_len = cur, lo, count
+
+        return results  # type: ignore[return-value]

@@ -12,6 +12,7 @@ low-confidence call carries no evidence of identity.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -34,12 +35,23 @@ class ScoringScheme:
         if self.mismatch >= 0 or self.gap >= 0:
             raise AlignmentError("mismatch and gap penalties must be negative")
 
+    @cached_property
+    def substitution_table(self) -> np.ndarray:
+        """Precomputed 5x5 substitution scores, indexed as ``table[a, b]``.
+
+        Built once per scheme instance so the kernels' inner loops do a
+        single fancy-indexed lookup instead of re-evaluating the match
+        predicate per cell.  Valid for ACGTN codes (0..4) only.
+        """
+        codes = np.arange(5)
+        is_match = (codes[:, None] == codes[None, :]) & (codes[:, None] < 4)
+        table = np.where(is_match, self.match, self.mismatch).astype(np.int64)
+        table.setflags(write=False)
+        return table
+
     def substitution(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Vectorized substitution scores for code arrays ``a`` vs ``b``."""
-        a = np.asarray(a)
-        b = np.asarray(b)
-        is_match = (a == b) & (a < 4) & (b < 4)
-        return np.where(is_match, self.match, self.mismatch).astype(np.int64)
+        return self.substitution_table[np.asarray(a), np.asarray(b)]
 
     def perfect_score(self, length: int) -> int:
         """Score of ``length`` consecutive matches."""

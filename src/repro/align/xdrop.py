@@ -53,9 +53,15 @@ class ExtensionResult:
     terminated_early: bool
 
 
-def _gather(arr: np.ndarray, arr_lo: int, want_lo: int, count: int) -> np.ndarray:
-    """Values of a diagonal array at indices [want_lo, want_lo+count), NEG-filled."""
-    out = np.full(count, _NEG, dtype=np.int64)
+def _gather(arr: np.ndarray, arr_lo: int, want_lo: int, count: int,
+            out: np.ndarray | None = None) -> np.ndarray:
+    """Values of a diagonal array at indices [want_lo, want_lo+count), NEG-filled.
+
+    ``out`` is an optional scratch buffer (capacity >= count) reused across
+    antidiagonals; without it a fresh array is allocated.
+    """
+    out = np.empty(count, dtype=np.int64) if out is None else out[:count]
+    out[:] = _NEG
     src_lo = max(arr_lo, want_lo)
     src_hi = min(arr_lo + arr.size, want_lo + count)
     if src_hi > src_lo:
@@ -99,17 +105,35 @@ class XDropExtender:
             return ExtensionResult(0, 0, 0, 0, 0, False)
 
         scoring = self.scoring
+        table = scoring.substitution_table
         gap = np.int64(scoring.gap)
         x = np.int64(self.x_drop)
 
         best = np.int64(0)
         best_i, best_j = 0, 0
 
+        # Shifted sequence lookups: a_ext[i] == a[max(i - 1, 0)] for
+        # i in [0, m], so per-diagonal base gathers are plain slices
+        # instead of np.arange-driven fancy indexing.
+        a_ext = np.concatenate((a[:1], a))
+        b_ext = np.concatenate((b[:1], b))
+
+        # Scratch buffers reused across antidiagonals: three rotating
+        # wavefront rows (cur / d-1 / d-2) plus gather and mask temporaries.
+        # No antidiagonal window is ever wider than min(m, n) + 1.
+        cap = min(m, n) + 1
+        row_a = np.zeros(cap, dtype=np.int64)
+        row_b = np.empty(cap, dtype=np.int64)
+        row_c = np.empty(cap, dtype=np.int64)
+        t_up = np.empty(cap, dtype=np.int64)
+        t_left = np.empty(cap, dtype=np.int64)
+        t_diag = np.empty(cap, dtype=np.int64)
+        t_live = np.empty(cap, dtype=bool)
+
         # Diagonal d=0 holds only S(0,0)=0.
-        prev = np.zeros(1, dtype=np.int64)   # diagonal d-1
-        prev_lo = 0
-        prev2 = np.zeros(0, dtype=np.int64)  # diagonal d-2
-        prev2_lo = 0
+        prev, prev_lo, prev_len = row_a, 0, 1      # diagonal d-1
+        prev2, prev2_lo, prev2_len = row_b, 0, 0   # diagonal d-2
+        free = row_c
 
         # Live window bounds (in i) allowed for the next diagonal.
         win_lo, win_hi = 0, 1
@@ -127,40 +151,45 @@ class XDropExtender:
                 terminated_early = True
                 break
             count = hi - lo + 1
-            i_vals = np.arange(lo, hi + 1, dtype=np.int64)
-            j_vals = d - i_vals
 
             # Moves: up (i-1, j) and left (i, j-1) live on diagonal d-1 at
             # indices i-1 and i; diagonal (i-1, j-1) lives on d-2 at i-1.
-            up = _gather(prev, prev_lo, lo - 1, count) + gap
-            left = _gather(prev, prev_lo, lo, count) + gap
-            diag_prev = _gather(prev2, prev2_lo, lo - 1, count)
+            up = _gather(prev[:prev_len], prev_lo, lo - 1, count, out=t_up)
+            up += gap
+            left = _gather(prev[:prev_len], prev_lo, lo, count, out=t_left)
+            left += gap
+            diag = _gather(prev2[:prev2_len], prev2_lo, lo - 1, count, out=t_diag)
 
-            ai = a[np.maximum(i_vals - 1, 0)]
-            bj = b[np.maximum(j_vals - 1, 0)]
-            sub = scoring.substitution(ai, bj)
-            diag = diag_prev + sub
+            # i runs lo..hi; j = d - i runs d-lo down to d-hi.
+            ai = a_ext[lo: hi + 1]
+            bj = b_ext[d - hi: d - lo + 1][::-1]
+            diag += table[ai, bj]
 
-            cur = np.maximum(np.maximum(up, left), diag)
+            cur = free[:count]
+            np.maximum(up, left, out=cur)
+            np.maximum(cur, diag, out=cur)
             cells += count
 
             cmax = np.int64(cur.max())
             if cmax > best:
                 k = int(np.argmax(cur))
                 best = cmax
-                best_i = int(i_vals[k])
-                best_j = int(j_vals[k])
+                best_i = lo + k
+                best_j = d - best_i
 
-            live = cur >= best - x
+            live = np.greater_equal(cur, best - x, out=t_live[:count])
             if not live.any():
                 terminated_early = d < m + n
                 break
-            live_idx = np.nonzero(live)[0]
-            win_lo = int(i_vals[live_idx[0]])
-            win_hi = int(i_vals[live_idx[-1]]) + 1
+            win_lo = lo + int(np.argmax(live))
+            win_hi = lo + (count - 1 - int(np.argmax(live[::-1]))) + 1
 
-            prev2, prev2_lo = prev, prev_lo
-            prev, prev_lo = cur, lo
+            # Rotate the wavefront rows: cur's buffer becomes d-1, the old
+            # d-1 becomes d-2, and the old d-2 buffer is recycled for the
+            # next diagonal.
+            prev, prev2, free, prev2_lo, prev2_len = \
+                free, prev, prev2, prev_lo, prev_len
+            prev_lo, prev_len = lo, count
 
         return ExtensionResult(
             score=int(best),

@@ -248,10 +248,13 @@ class ConcreteWorkload:
             idx = rng.choice(
                 len(tasks), size=min(measure_sample, len(tasks)), replace=False
             )
+            # one batched wavefront pass over the whole measurement sample
             measured = np.array(
                 [
-                    aligner.align_candidate(reads, candidates[int(i)]).cells
-                    for i in idx
+                    al.cells
+                    for al in aligner.align_candidates(
+                        reads, [candidates[int(i)] for i in idx]
+                    )
                 ],
                 dtype=np.float64,
             )
