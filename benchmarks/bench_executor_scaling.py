@@ -1,0 +1,129 @@
+"""Executor scaling: serial inline kernel vs the process-pool backend.
+
+The process backend (docs/PARALLEL.md) exists to put the paper's
+many-cores-per-node premise back into the micro engines: real-kernel task
+batches fan out to persistent workers over a shared-memory read store.
+This benchmark measures end-to-end batch throughput — pairs/sec through
+``TaskExecutor.align_tasks`` including dispatch and merge — for the serial
+backend and worker pools of 1, 2 and 4, and verifies en route that every
+backend returns bit-identical alignments.
+
+Speedup is reported against the machine actually running the benchmark:
+``cpus`` in the JSON is ``os.cpu_count()``, and a single-core container
+will honestly show ~1x no matter how many workers are configured (the CI
+step that wants the >=2x-at-4-workers number runs on >=4 free cores and is
+non-gating).  Writes ``BENCH_EXECUTOR.json`` at the repo root.  Also
+runnable standalone:
+
+    python benchmarks/bench_executor_scaling.py [--tiny]
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.align.seedextend import SeedExtendAligner
+from repro.core.api import get_workload
+from repro.runtime.executor import ProcessExecutor, SerialExecutor
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_EXECUTOR.json"
+
+WORKER_COUNTS = (1, 2, 4)
+
+#: (workload seed, engine-style batch size, task cap) for the smoke run
+TINY = (11, 64, 192)
+FULL = (11, 256, None)
+
+
+def _run_batches(executor, indices, batch: int):
+    """Feed tasks through align_tasks in engine-sized batches, timed."""
+    out = []
+    t0 = time.perf_counter()
+    for s in range(0, len(indices), batch):
+        out.extend(executor.align_tasks(indices[s: s + batch]))
+    return out, time.perf_counter() - t0
+
+
+def sweep(seed: int = FULL[0], batch: int = FULL[1],
+          max_tasks: int | None = FULL[2]) -> dict:
+    workload = get_workload("micro", seed=seed)
+    n = workload.n_tasks if max_tasks is None else min(workload.n_tasks,
+                                                       max_tasks)
+    indices = list(range(n))
+
+    serial = SerialExecutor(workload, SeedExtendAligner())
+    base, t_serial = _run_batches(serial, indices, batch)
+    serial_pps = n / t_serial
+
+    rows = [["serial", "-", round(serial_pps, 1), 1.0]]
+    report: dict = {
+        "workload": f"micro@{seed}",
+        "tasks": n,
+        "batch": batch,
+        "cpus": os.cpu_count(),
+        "serial_pairs_per_sec": serial_pps,
+        "process": [],
+    }
+    for workers in WORKER_COUNTS:
+        ex = ProcessExecutor(workload, SeedExtendAligner(), workers=workers)
+        try:
+            got, t_proc = _run_batches(ex, indices, batch)
+            stats = ex.stats()
+        finally:
+            ex.close()
+        if [(a.score, a.cells) for a in got] != \
+                [(a.score, a.cells) for a in base]:
+            raise AssertionError(
+                f"process backend ({workers} workers) diverged from serial")
+        pps = n / t_proc
+        speedup = t_serial / t_proc
+        report["process"].append({
+            "workers": workers,
+            "pairs_per_sec": pps,
+            "speedup_vs_serial": speedup,
+            "dispatch_s": stats["dispatch_s"],
+            "merge_s": stats["merge_s"],
+            "chunks": stats["chunks"],
+        })
+        rows.append(["process", workers, round(pps, 1), round(speedup, 2)])
+    report["speedup_at_4_workers"] = report["process"][-1][
+        "speedup_vs_serial"]
+    return {
+        "title": f"Executor scaling: {n} tasks, batch={batch}, "
+                 f"{os.cpu_count()} cpus",
+        "columns": ["backend", "workers", "pairs/s", "speedup"],
+        "rows": rows,
+        "report": report,
+    }
+
+
+def write_json(fig: dict) -> None:
+    JSON_PATH.write_text(json.dumps(fig["report"], indent=2) + "\n")
+
+
+def test_executor_scaling(benchmark):
+    from conftest import FAST, emit, run_once
+
+    fig = run_once(benchmark, sweep, *(TINY if FAST else ()))
+    emit("executor_scaling", {k: fig[k] for k in ("title", "columns", "rows")})
+    write_json(fig)
+    speedup = fig["report"]["speedup_at_4_workers"]
+    assert speedup > 0
+    # the >=2x target only makes sense with real spare cores under the
+    # pool; single/dual-core runners record the honest number instead
+    if not FAST and (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, f"4-worker pool only {speedup:.2f}x serial"
+
+
+if __name__ == "__main__":
+    tiny = "--tiny" in sys.argv
+    fig = sweep(*TINY) if tiny else sweep()
+    widths = [max(len(str(r[i])) for r in [fig["columns"]] + fig["rows"])
+              for i in range(len(fig["columns"]))]
+    print(fig["title"])
+    for row in [fig["columns"]] + fig["rows"]:
+        print("  ".join(str(v).rjust(w) for v, w in zip(row, widths)))
+    write_json(fig)
+    print(f"wrote {JSON_PATH}")

@@ -38,6 +38,7 @@ from repro.core.api import (
 )
 from repro.engines.base import EngineConfig
 from repro.engines.registry import available_engines, get_engine
+from repro.runtime.executor import BACKENDS
 from repro.errors import ConfigurationError, FaultError
 from repro.faults import parse_fault_spec
 from repro.genome.datasets import DATASETS
@@ -84,6 +85,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--approach", "--engine", dest="approach",
                        default="bsp", choices=list(available_engines()),
                        help="registered engine to run (--engine is an alias)")
+    p_run.add_argument("--kernel", choices=("model", "real"), default="model",
+                       help="micro engines only: 'real' runs the X-drop "
+                            "alignment kernel; 'model' charges modeled costs")
+    p_run.add_argument("--backend", choices=list(BACKENDS), default="serial",
+                       help="compute backend for --kernel real task batches "
+                            "(docs/PARALLEL.md)")
+    p_run.add_argument("--workers", type=int, default=1,
+                       help="worker-process count for --backend process")
+    p_run.add_argument("--chunk-tasks", type=int, default=0,
+                       help="tasks per dispatched chunk for --backend "
+                            "process (0 = split batches evenly)")
 
     p_cmp = sub.add_parser("compare",
                            help="run the macro engines side by side")
@@ -103,7 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _config(args) -> EngineConfig:
-    cfg = EngineConfig(seed=args.seed)
+    cfg = EngineConfig(
+        seed=args.seed,
+        backend=getattr(args, "backend", "serial"),
+        workers=getattr(args, "workers", 1),
+        chunk_tasks=getattr(args, "chunk_tasks", 0),
+    )
     return cfg.comm_only() if args.comm_only else cfg
 
 
@@ -256,12 +273,23 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "run":
         tracer, metrics = _observability(args)
         try:
+            info = get_engine(args.approach)
+            if not info.is_micro and (
+                    args.kernel != "model" or args.backend != "serial"
+                    or args.workers != 1 or args.chunk_tasks != 0):
+                raise ConfigurationError(
+                    "--kernel/--backend/--workers/--chunk-tasks apply to "
+                    f"micro engines only; {args.approach!r} is a "
+                    f"{info.kind} engine (its analytic model never invokes "
+                    "the kernel)"
+                )
             res = run_alignment(workload, args.nodes, args.approach,
                                 config=_config(args),
                                 cores_per_node=args.cores_per_node,
                                 tracer=tracer, metrics=metrics,
                                 fault_plan=fault_plan,
-                                fault_seed=args.fault_seed)
+                                fault_seed=args.fault_seed,
+                                kernel=args.kernel)
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

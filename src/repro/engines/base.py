@@ -13,6 +13,7 @@ import enum
 from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
+from repro.runtime.executor import BACKENDS
 from repro.utils.units import US
 
 __all__ = ["ExecutionMode", "EngineConfig"]
@@ -71,6 +72,14 @@ class EngineConfig:
         scale, <7% of runtime in Figure 8).
     noise_fraction : OS-noise dilation mean for non-isolated runs (Fig. 3).
     seed : RNG seed for the noise model.
+    backend : compute backend for the micro engines' real-kernel batches
+        (``"serial"`` or ``"process"``, see :mod:`repro.runtime.executor`
+        and docs/PARALLEL.md).  Affects only real wall-clock — results and
+        simulated times are bit-identical across backends.
+    workers : worker-process count of the ``process`` backend (>= 1;
+        ignored by ``serial``).
+    chunk_tasks : tasks per dispatched chunk for the ``process`` backend;
+        0 splits each batch evenly across the workers.
     """
 
     mode: ExecutionMode = ExecutionMode.FULL
@@ -87,8 +96,25 @@ class EngineConfig:
     async_min_visible: float = 0.05
     noise_fraction: float = 0.015
     seed: int = 0
+    backend: str = "serial"
+    workers: int = 1
+    chunk_tasks: int = 0
 
     def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {list(BACKENDS)}, got {self.backend!r}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError(
+                "workers must be >= 1 (the process backend needs at least "
+                "one worker; use backend='serial' to run inline)"
+            )
+        if self.chunk_tasks < 0:
+            raise ConfigurationError(
+                "chunk_tasks must be >= 0 (0 = split each batch evenly "
+                "across the workers)"
+            )
         if not 0 < self.exchange_memory_fraction <= 1:
             raise ConfigurationError("exchange_memory_fraction must be in (0,1]")
         if self.async_window < 1:

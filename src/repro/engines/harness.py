@@ -16,9 +16,16 @@ wiring once:
   ``validate()``, the independent trace re-sum
   (``assert_conserved(check_trace(...))``), and the common counters
   (``tasks``, ``lookups``, engine extras, redistribution);
-* :func:`resolve_tracer` / :func:`finish_run` — the same prologue/epilogue
-  pieces for the micro engines, whose per-rank machinery lives in
-  :class:`repro.runtime.context.SpmdContext`.
+* :func:`resolve_tracer` / :func:`resolve_executor` / :func:`finish_run` —
+  the same prologue/epilogue pieces for the micro engines, whose per-rank
+  machinery lives in :class:`repro.runtime.context.SpmdContext`.
+
+The context also carries the run's *compute backend*
+(:attr:`ExecutionContext.executor`, a
+:class:`repro.runtime.executor.TaskExecutor`): engines route real-kernel
+batches through it rather than calling the aligner directly, so a run can
+fan kernel work out to a process pool with zero engine-code changes
+(docs/PARALLEL.md).
 
 New engines (see ``docs/ARCHITECTURE.md``) should never need to touch the
 observability or conservation plumbing: open a context, charge phases,
@@ -47,9 +54,11 @@ from repro.obs import (
     get_default_tracer,
 )
 from repro.pipeline.workload import WorkloadAssignment
+from repro.runtime.executor import TaskExecutor, make_task_executor
 from repro.utils.rng import RngFactory
 
-__all__ = ["ExecutionContext", "resolve_tracer", "finish_run"]
+__all__ = ["ExecutionContext", "resolve_tracer", "resolve_executor",
+           "finish_run"]
 
 
 def resolve_tracer(tracer: Tracer | None, engine_name: str,
@@ -62,6 +71,21 @@ def resolve_tracer(tracer: Tracer | None, engine_name: str,
             f"P={machine.total_ranks}"
         )
     return tracer
+
+
+def resolve_executor(config: EngineConfig, workload, aligner) -> TaskExecutor:
+    """Build the kernel-batch backend of one run from its config.
+
+    Engines hold the result in a ``with`` block so the pool and its
+    shared-memory segments are torn down even when a fault plan aborts the
+    run mid-flight (``tests/test_executor.py`` asserts nothing leaks).
+    """
+    return make_task_executor(
+        workload, aligner,
+        backend=config.backend,
+        workers=config.workers,
+        chunk_tasks=config.chunk_tasks,
+    )
 
 
 def finish_run(
@@ -133,6 +157,9 @@ class ExecutionContext:
     net: NetworkModel
     noise: NoiseModel
     timers: PhaseTimers
+    #: compute backend for real-kernel batches; ``None`` for macro engines,
+    #: whose analytic models never invoke the kernel
+    executor: TaskExecutor | None = None
 
     @classmethod
     def open(
@@ -145,6 +172,7 @@ class ExecutionContext:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         faults=None,
+        executor: TaskExecutor | None = None,
     ) -> "ExecutionContext":
         """Validated prologue of a macro run."""
         if assignment.num_ranks != machine.total_ranks:
@@ -164,6 +192,7 @@ class ExecutionContext:
             noise=NoiseModel(machine, RngFactory(config.seed),
                              noise_fraction=config.noise_fraction),
             timers=PhaseTimers(machine.total_ranks),
+            executor=executor,
         )
 
     @property

@@ -28,7 +28,7 @@ from repro.engines.common import (
     bsp_num_rounds,
     internode_fraction,
 )
-from repro.engines.harness import finish_run, resolve_tracer
+from repro.engines.harness import finish_run, resolve_executor, resolve_tracer
 from repro.engines.registry import MICRO, register_engine
 from repro.engines.report import RunResult
 from repro.errors import ConfigurationError, RankFailureError
@@ -53,6 +53,25 @@ def _rank_task_lists(plan, num_ranks: int) -> list[np.ndarray]:
 @dataclass
 class _MicroBase:
     config: EngineConfig = field(default_factory=EngineConfig)
+
+    def run(self, workload: ConcreteWorkload, machine: MachineSpec,
+            kernel: str = "model",
+            tracer: Tracer | None = None,
+            metrics: MetricsRegistry | None = None,
+            faults=None) -> RunResult:
+        """Open the run's compute backend, then hand off to the engine body.
+
+        ``kernel="real"`` builds a :class:`SeedExtendAligner` and routes
+        every task batch through the configured backend
+        (``config.backend``/``workers``/``chunk_tasks``, see
+        docs/PARALLEL.md); ``kernel="model"`` charges modeled costs only.
+        The ``with`` block guarantees pool + shared-memory teardown even
+        when a fault plan kills a rank mid-run.
+        """
+        aligner = SeedExtendAligner() if kernel == "real" else None
+        with resolve_executor(self.config, workload, aligner) as executor:
+            return self._run(workload, machine, executor,
+                             tracer=tracer, metrics=metrics, faults=faults)
 
     def _prepare(self, workload: ConcreteWorkload, machine: MachineSpec,
                  tracer: Tracer | None = None,
@@ -95,47 +114,44 @@ class _MicroBase:
             return seconds
         return seconds * ctx.faults.straggle_factor(rank, ctx.engine.now)
 
-    def _task_compute(self, workload, task_idx, aligner):
+    def _task_compute(self, workload, task_idx, executor):
         """(simulated seconds, alignment or None) for one task."""
-        return self._tasks_compute(workload, [task_idx], aligner)[0]
+        return self._tasks_compute(workload, [task_idx], executor)[0]
 
-    def _tasks_compute(self, workload, task_indices, aligner):
+    def _tasks_compute(self, workload, task_indices, executor):
         """[(simulated seconds, alignment or None)] for a group of tasks.
 
-        The whole group runs through the batched wavefront kernel in one
-        call, amortizing per-antidiagonal dispatch overhead across the
-        group.  Simulated seconds and per-task alignment outputs are
-        unchanged — batching only cuts the real kernel's wall-clock.
+        The whole group routes through the run's compute backend in one
+        call: the serial backend makes a single batched wavefront call
+        (amortizing per-antidiagonal dispatch overhead across the group),
+        the process backend fans chunks of the group out to its worker
+        pool.  Simulated seconds and per-task alignment outputs are
+        identical either way — the backend only spends real wall-clock.
         """
         if self.config.mode is ExecutionMode.COMM_ONLY:
             return [(0.0, None)] * len(task_indices)
         costs = [float(workload.task_costs[i]) for i in task_indices]
-        if aligner is None:
+        if executor.aligner is None:
             return [(c, None) for c in costs]
-        t = workload.tasks
-        alignments = aligner.align_batch([
-            (
-                workload.reads.codes(int(t.read_a[i])),
-                workload.reads.codes(int(t.read_b[i])),
-                int(t.pos_a[i]),
-                int(t.pos_b[i]),
-                t.k,
-                bool(t.reverse[i]),
-                int(t.read_a[i]),
-                int(t.read_b[i]),
-            )
-            for i in task_indices
-        ])
-        return list(zip(costs, alignments))
+        return list(zip(costs, executor.align_tasks(task_indices)))
 
     def _finish(self, name, workload, machine, ctx, memory, rounds, alignments,
-                details=None, wall_time=None):
+                details=None, wall_time=None, executor=None):
         if wall_time is None:
             wall_time = ctx.engine.now
         details = dict(details or {})
         if ctx.faults is not None:
             details["faults_injected"] = ctx.faults.total_injected
             details["fault_kinds"] = dict(ctx.faults.injected)
+        if (executor is not None and executor.backend != "serial"
+                and ctx.metrics is not None):
+            # real wall-clock dispatch/merge accounting: counters, not
+            # RunResult details, so results stay bit-identical to serial
+            stats = executor.stats()
+            per_worker = stats.pop("per_worker", {})
+            ctx.metrics.merge_scalars("exec_", stats)
+            for slot, (_pid, wstats) in enumerate(sorted(per_worker.items())):
+                ctx.metrics.merge_scalars(f"exec_w{slot}_", wstats)
         # the accumulator path reports through the conservation checker;
         # the trace re-sum runs inside finish_run when a tracer is attached
         return finish_run(
@@ -156,16 +172,15 @@ class MicroBSPEngine(_MicroBase):
 
     name: str = "bsp-micro"
 
-    def run(self, workload: ConcreteWorkload, machine: MachineSpec,
-            kernel: str = "model",
-            tracer: Tracer | None = None,
-            metrics: MetricsRegistry | None = None,
-            faults=None) -> RunResult:
+    def _run(self, workload: ConcreteWorkload, machine: MachineSpec,
+             executor, *,
+             tracer: Tracer | None = None,
+             metrics: MetricsRegistry | None = None,
+             faults=None) -> RunResult:
         P = machine.total_ranks
         plan, ctx, rank_tasks = self._prepare(workload, machine,
                                               tracer, metrics, faults)
         coll = Collectives(ctx)
-        aligner = SeedExtendAligner() if kernel == "real" else None
         lengths = workload.read_lengths
         assignment = workload.assignment(P)
         rounds = bsp_num_rounds(self.config, machine, assignment)
@@ -227,7 +242,7 @@ class MicroBSPEngine(_MicroBase):
                         todo.append(int(t))
                 # one batched wavefront call per round's ready set
                 for t, (seconds, alignment) in zip(
-                        todo, self._tasks_compute(workload, todo, aligner)):
+                        todo, self._tasks_compute(workload, todo, executor)):
                     seconds = self._dilated(ctx, rank, seconds)
                     if seconds:
                         yield ctx.charge("compute_align", rank, seconds,
@@ -260,8 +275,9 @@ class MicroBSPEngine(_MicroBase):
         return self._finish(
             self.name, workload, machine, ctx,
             ctx.memory.rank_high_water(), rounds,
-            alignments if kernel == "real" else None,
+            alignments if executor.aligner is not None else None,
             wall_time=max(finish_times.values(), default=ctx.engine.now),
+            executor=executor,
         )
 
 
@@ -273,17 +289,16 @@ class MicroAsyncEngine(_MicroBase):
 
     name: str = "async-micro"
 
-    def run(self, workload: ConcreteWorkload, machine: MachineSpec,
-            kernel: str = "model",
-            tracer: Tracer | None = None,
-            metrics: MetricsRegistry | None = None,
-            faults=None) -> RunResult:
+    def _run(self, workload: ConcreteWorkload, machine: MachineSpec,
+             executor, *,
+             tracer: Tracer | None = None,
+             metrics: MetricsRegistry | None = None,
+             faults=None) -> RunResult:
         P = machine.total_ranks
         plan, ctx, rank_tasks = self._prepare(workload, machine,
                                               tracer, metrics, faults)
         coll = Collectives(ctx)
         rpc = RpcLayer(ctx)
-        aligner = SeedExtendAligner() if kernel == "real" else None
         lengths = workload.read_lengths
         assignment = workload.assignment(P)
         window = self.config.async_window
@@ -321,7 +336,7 @@ class MicroAsyncEngine(_MicroBase):
             local_list = [int(t) for t in local_tasks]
             for t, (seconds, alignment) in zip(
                     local_list,
-                    self._tasks_compute(workload, local_list, aligner)):
+                    self._tasks_compute(workload, local_list, executor)):
                 seconds = self._dilated(ctx, rank, seconds)
                 if seconds:
                     yield ctx.charge("compute_align", rank, seconds,
@@ -377,7 +392,7 @@ class MicroAsyncEngine(_MicroBase):
                 # unblocked by this read's arrival)
                 group = by_read[int(response.token)]
                 for t, (seconds, alignment) in zip(
-                        group, self._tasks_compute(workload, group, aligner)):
+                        group, self._tasks_compute(workload, group, executor)):
                     seconds = self._dilated(ctx, rank, seconds)
                     if seconds:
                         yield ctx.charge("compute_align", rank, seconds,
@@ -408,7 +423,7 @@ class MicroAsyncEngine(_MicroBase):
         return self._finish(
             self.name, workload, machine, ctx,
             ctx.memory.rank_high_water(), 0,
-            alignments if kernel == "real" else None,
+            alignments if executor.aligner is not None else None,
             details={
                 "rpc_calls": rpc.total_calls,
                 "rpc_retries": rpc.retries,
@@ -416,4 +431,5 @@ class MicroAsyncEngine(_MicroBase):
                 "rpc_dup_dropped": rpc.dups_dropped,
             },
             wall_time=max(finish_times.values(), default=ctx.engine.now),
+            executor=executor,
         )

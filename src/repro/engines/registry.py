@@ -53,6 +53,12 @@ class EngineInfo:
     kind: str
     description: str = ""
 
+    @property
+    def is_micro(self) -> bool:
+        """Whether the engine executes concrete workloads (and so can run
+        the real kernel behind a compute backend, docs/PARALLEL.md)."""
+        return self.kind == MICRO
+
 
 def register_engine(name: str, *, kind: str = MACRO, description: str = ""):
     """Class decorator adding an engine to the registry under ``name``.

@@ -17,6 +17,7 @@ per-rank high-water marks (§4.5).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,6 +27,33 @@ from repro.machine.config import MachineSpec
 from repro.utils.stats import Summary, summarize
 
 __all__ = ["PhaseTimers", "RuntimeBreakdown", "RunResult", "CATEGORIES"]
+
+
+def _canonical(value) -> str:
+    """Type-tagged, platform-stable rendering of one ``details`` value.
+
+    Floats go through ``float.hex`` (exact bits, no repr rounding), dicts
+    in sorted key order, so equal values always render equal and nearly
+    equal values never do.
+    """
+    if isinstance(value, bool):
+        return f"b:{int(value)}"
+    if isinstance(value, (float, np.floating)):
+        return f"f:{float(value).hex()}"
+    if isinstance(value, (int, np.integer)):
+        return f"i:{int(value)}"
+    if isinstance(value, str):
+        return f"s:{value}"
+    if isinstance(value, dict):
+        inner = ",".join(
+            f"{k}={_canonical(value[k])}" for k in sorted(value)
+        )
+        return "{" + inner + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_canonical(v) for v in value) + "]"
+    if isinstance(value, np.ndarray):
+        return "a:" + np.ascontiguousarray(value).tobytes().hex()
+    return f"r:{value!r}"
 
 CATEGORIES = ("compute_align", "compute_overhead", "comm", "sync")
 
@@ -154,3 +182,46 @@ class RunResult:
     @property
     def max_memory_per_rank(self) -> float:
         return float(self.memory_high_water.max(initial=0.0))
+
+    def signature(self) -> str:
+        """SHA-256 digest over a canonical serialization of the whole result.
+
+        Covers every field a run produces: engine/workload identity, the
+        wall clock and all four per-rank category vectors (exact float64
+        bytes), memory high-water marks, exchange rounds, every alignment
+        field-by-field, and the ``details`` dict in canonical form.  The
+        golden-signature suite (``tests/test_golden_signatures.py``) pins
+        one digest per (engine, workload): any behavioral drift — kernel
+        results, the timing model, memory accounting, fault bookkeeping —
+        changes the digest, while a pure refactor keeps it.
+        """
+        h = hashlib.sha256()
+
+        def feed(*parts) -> None:
+            for p in parts:
+                h.update(str(p).encode())
+                h.update(b"\x1f")
+
+        b = self.breakdown
+        feed("engine", b.engine, "workload", b.workload,
+             "nodes", b.machine.nodes, "ranks", b.machine.total_ranks,
+             "wall", float(b.wall_time).hex())
+        for c in CATEGORIES:
+            h.update(c.encode())
+            h.update(np.ascontiguousarray(
+                b.category(c), dtype=np.float64).tobytes())
+        h.update(b"mem")
+        h.update(np.ascontiguousarray(
+            self.memory_high_water, dtype=np.float64).tobytes())
+        feed("rounds", self.exchange_rounds)
+        if self.alignments is None:
+            feed("alignments", "none")
+        else:
+            feed("alignments", len(self.alignments))
+            for al in self.alignments:
+                feed(al.read_a, al.read_b, al.score,
+                     al.begin_a, al.end_a, al.begin_b, al.end_b,
+                     int(al.reverse), al.cells, int(al.terminated_early))
+        for key in sorted(self.details):
+            feed("detail", key, _canonical(self.details[key]))
+        return h.hexdigest()

@@ -41,6 +41,20 @@ class MetricsRegistry:
         """Add a per-rank vector at once (macro engines)."""
         self._array(name)[:] += np.asarray(values, dtype=np.float64)
 
+    def merge_scalars(self, prefix: str, values: dict, rank: int = 0) -> None:
+        """Fold a flat dict of scalar counters in under ``prefix``.
+
+        Used for *real wall-clock* accounting that has no per-rank
+        structure — e.g. the process-backend executor's per-worker
+        dispatch/merge timings (``exec_dispatch_s``, ``exec_w0_align_s``,
+        ...).  Non-numeric values are skipped, so callers can pass a stats
+        dict verbatim.
+        """
+        for name, value in values.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            self.inc(f"{prefix}{name}", rank, float(value))
+
     def observe_max(self, name: str, rank: int, value: float) -> None:
         """Track a high-water mark (e.g. window occupancy)."""
         arr = self._array(name)

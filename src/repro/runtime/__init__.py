@@ -14,5 +14,18 @@ from repro.runtime.queues import SimQueue
 from repro.runtime.collectives import Collectives
 from repro.runtime.rpc import RpcLayer
 from repro.runtime.context import SpmdContext
+from repro.runtime.executor import (
+    BACKENDS,
+    ProcessExecutor,
+    SerialExecutor,
+    SharedReadStore,
+    TaskExecutor,
+    active_shm_segments,
+    make_task_executor,
+)
 
-__all__ = ["SimQueue", "Collectives", "RpcLayer", "SpmdContext"]
+__all__ = [
+    "SimQueue", "Collectives", "RpcLayer", "SpmdContext",
+    "BACKENDS", "TaskExecutor", "SerialExecutor", "ProcessExecutor",
+    "SharedReadStore", "active_shm_segments", "make_task_executor",
+]

@@ -1,0 +1,426 @@
+"""Pluggable compute backends for the micro engines' kernel batches.
+
+The paper's whole premise is exploiting all 68 cores of a Cori KNL node,
+yet the reproduction's micro engines ran every batched X-drop call on a
+single Python core.  This module closes that gap with a *compute backend*
+abstraction over :meth:`~repro.align.seedextend.SeedExtendAligner.
+align_batch`:
+
+* ``serial`` — :class:`SerialExecutor` runs the batch inline, exactly as
+  the engines always did;
+* ``process`` — :class:`ProcessExecutor` fans the batch out to a pool of
+  **persistent** worker processes.  Workers are seeded exactly once, at
+  pool start, with the workload's sequence bytes and task descriptors via
+  POSIX shared memory (:class:`SharedReadStore` wraps the existing numpy
+  arrays — the ``ReadSet`` code buffer / CSR offsets and the flat
+  ``TaskTable`` columns).  Per batch, workers receive only
+  ``(task_index_chunk,)`` descriptors — never sequence copies — align
+  their chunk with the batched wavefront kernel, and return compact int64
+  result arrays that the parent merges back **in deterministic task
+  order**.
+
+Determinism contract: the batched kernel is bit-identical to the scalar
+kernel per pair (``repro.align.batch``), so chunk boundaries cannot change
+any result; the parent merges chunks in submission order; and simulated
+time never touches the backend (it only spends real wall-clock).  A
+``process`` run is therefore bit-identical to a ``serial`` run for any
+worker count and chunk size — locked down by ``tests/test_executor.py``
+and the golden-signature suite.
+
+When ``serial`` wins: dispatching a chunk costs roughly a millisecond of
+IPC, so tiny per-callback groups (the async engine's common case) only pay
+off once the kernel work per chunk dominates — see
+``benchmarks/bench_executor_scaling.py`` for the measured crossover and
+``docs/PARALLEL.md`` for the design discussion.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.align.seedextend import Alignment, SeedExtendAligner
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BACKENDS",
+    "TaskExecutor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "SharedReadStore",
+    "make_task_executor",
+    "active_shm_segments",
+]
+
+#: the valid ``EngineConfig.backend`` values
+BACKENDS = ("serial", "process")
+
+#: names of shared-memory segments created and not yet unlinked by this
+#: process — the leak oracle ``tests/test_executor.py`` asserts empties
+#: after every run, including fault-aborted ones
+_ACTIVE_SEGMENTS: set[str] = set()
+
+
+def active_shm_segments() -> frozenset[str]:
+    """Shared-memory segments currently owned (created, not yet unlinked)."""
+    return frozenset(_ACTIVE_SEGMENTS)
+
+
+def _task_pairs(codes, tasks, task_indices) -> list[tuple]:
+    """``align_batch`` argument tuples for the given task indices.
+
+    ``codes`` maps a global read id to its uint8 code array.  Shared by the
+    serial backend and the pool workers so both build byte-identical batch
+    inputs in identical order.
+    """
+    k = tasks.k
+    return [
+        (
+            codes(int(tasks.read_a[i])),
+            codes(int(tasks.read_b[i])),
+            int(tasks.pos_a[i]),
+            int(tasks.pos_b[i]),
+            k,
+            bool(tasks.reverse[i]),
+            int(tasks.read_a[i]),
+            int(tasks.read_b[i]),
+        )
+        for i in task_indices
+    ]
+
+
+class TaskExecutor:
+    """Common surface of the compute backends.
+
+    ``align_tasks(task_indices)`` returns one
+    :class:`~repro.align.seedextend.Alignment` per index, in input order.
+    ``aligner`` is ``None`` in model-kernel runs — engines then skip the
+    call entirely.  Executors are context managers; :meth:`close` is
+    idempotent and must run even when a fault plan aborts the engine
+    mid-run (the engines hold the executor in a ``with`` block).
+    """
+
+    backend: str = "serial"
+    aligner: SeedExtendAligner | None = None
+
+    def align_tasks(self, task_indices) -> list[Alignment]:
+        raise NotImplementedError
+
+    def stats(self) -> dict:
+        """Wall-clock dispatch/merge accounting (empty for serial)."""
+        return {"backend": self.backend}
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "TaskExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialExecutor(TaskExecutor):
+    """Inline execution: one batched wavefront call on the calling core."""
+
+    backend = "serial"
+
+    def __init__(self, workload, aligner: SeedExtendAligner | None):
+        self.workload = workload
+        self.aligner = aligner
+
+    def align_tasks(self, task_indices) -> list[Alignment]:
+        return self.aligner.align_batch(
+            _task_pairs(self.workload.reads.codes, self.workload.tasks,
+                        task_indices)
+        )
+
+
+# -- process backend ---------------------------------------------------------
+
+
+class SharedReadStore:
+    """The workload's read bytes + task columns, in POSIX shared memory.
+
+    Wraps the *existing* numpy arrays — the ``ReadSet``'s flat uint8 code
+    buffer and int64 CSR offsets, plus the five flat ``TaskTable`` columns
+    — one segment each, copied once at pool start.  Workers attach by name
+    and reconstruct zero-copy ndarray views, so per-batch traffic is task
+    indices in, compact result arrays out.
+    """
+
+    def __init__(self, workload):
+        self._segments: list[shared_memory.SharedMemory] = []
+        self.spec: dict = {"k": int(workload.tasks.k), "arrays": {}}
+        arrays = {
+            "buffer": workload.reads.buffer,
+            "offsets": workload.reads.offsets,
+            "read_a": workload.tasks.read_a,
+            "read_b": workload.tasks.read_b,
+            "pos_a": workload.tasks.pos_a,
+            "pos_b": workload.tasks.pos_b,
+            "reverse": workload.tasks.reverse,
+        }
+        try:
+            for name, arr in arrays.items():
+                arr = np.ascontiguousarray(arr)
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, arr.nbytes)
+                )
+                _ACTIVE_SEGMENTS.add(shm.name)
+                self._segments.append(shm)
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+                view[...] = arr
+                self.spec["arrays"][name] = (shm.name, arr.shape, arr.dtype.str)
+        except BaseException:
+            self.close()
+            raise
+        self._closed = False
+
+    def close(self) -> None:
+        """Unlink every segment (idempotent; safe mid-construction)."""
+        if getattr(self, "_closed", False):
+            return
+        for shm in self._segments:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            _ACTIVE_SEGMENTS.discard(shm.name)
+        self._segments = []
+        self._closed = True
+
+
+def _pool_context():
+    """Start-method context for the pool: ``fork`` wherever available.
+
+    Forked workers share the parent's resource-tracker process, so their
+    attach-time re-registration of the shared segments is an idempotent
+    set-add and the parent's ``unlink()`` stays the single owner of the
+    cleanup.  (Under ``spawn`` each worker gets its *own* tracker, which
+    must be disowned instead — see :class:`_WorkerState`.)
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platform
+        return multiprocessing.get_context()
+
+
+class _WorkerState:
+    """Per-worker-process view of the shared store + a private aligner."""
+
+    def __init__(self, spec: dict, x_drop: int, scoring,
+                 disown_tracker: bool = False):
+        self._shms: list[shared_memory.SharedMemory] = []
+        arrays: dict[str, np.ndarray] = {}
+        for name, (shm_name, shape, dtype) in spec["arrays"].items():
+            shm = shared_memory.SharedMemory(name=shm_name)
+            if disown_tracker:
+                # On < 3.13, attaching also *registers* the segment with
+                # the worker's own resource tracker (spawn/forkserver),
+                # which would unlink it a second time after the parent
+                # already has and warn about a leak that never happened.
+                # The parent owns the lifecycle; hand the claim back.
+                try:  # pragma: no cover - exercised only under spawn
+                    from multiprocessing import resource_tracker
+
+                    resource_tracker.unregister(shm._name, "shared_memory")
+                except Exception:
+                    pass
+            self._shms.append(shm)
+            arrays[name] = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=shm.buf
+            )
+        self.buffer = arrays["buffer"]
+        self.offsets = arrays["offsets"]
+        self.tasks = _TaskColumns(
+            read_a=arrays["read_a"], read_b=arrays["read_b"],
+            pos_a=arrays["pos_a"], pos_b=arrays["pos_b"],
+            reverse=arrays["reverse"], k=spec["k"],
+        )
+        self.aligner = SeedExtendAligner(x_drop=x_drop, scoring=scoring)
+
+    def codes(self, read_id: int) -> np.ndarray:
+        return self.buffer[self.offsets[read_id]: self.offsets[read_id + 1]]
+
+
+class _TaskColumns:
+    """Duck-typed stand-in for :class:`~repro.pipeline.tasks.TaskTable`."""
+
+    def __init__(self, read_a, read_b, pos_a, pos_b, reverse, k):
+        self.read_a = read_a
+        self.read_b = read_b
+        self.pos_a = pos_a
+        self.pos_b = pos_b
+        self.reverse = reverse
+        self.k = k
+
+
+_WORKER_STATE: _WorkerState | None = None
+
+
+def _worker_init(spec: dict, x_drop: int, scoring,
+                 disown_tracker: bool = False) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = _WorkerState(spec, x_drop, scoring, disown_tracker)
+
+
+def _align_chunk(indices: np.ndarray) -> tuple[int, float, np.ndarray]:
+    """Worker entry: align one chunk, return ``(pid, seconds, results)``.
+
+    Results are a compact ``(len(indices), 7)`` int64 array — score,
+    begin_a, end_a, begin_b, end_b, cells, terminated_early — the parent
+    rehydrates into :class:`Alignment` objects together with the task
+    columns it already holds.
+    """
+    st = _WORKER_STATE
+    t0 = time.perf_counter()
+    alignments = st.aligner.align_batch(
+        _task_pairs(st.codes, st.tasks, indices)
+    )
+    out = np.empty((len(alignments), 7), dtype=np.int64)
+    for j, al in enumerate(alignments):
+        out[j, 0] = al.score
+        out[j, 1] = al.begin_a
+        out[j, 2] = al.end_a
+        out[j, 3] = al.begin_b
+        out[j, 4] = al.end_b
+        out[j, 5] = al.cells
+        out[j, 6] = al.terminated_early
+    return os.getpid(), time.perf_counter() - t0, out
+
+
+class ProcessExecutor(TaskExecutor):
+    """Persistent worker pool over the shared read store.
+
+    Chunking: ``chunk_tasks`` fixes the tasks per dispatched chunk; 0
+    splits each batch evenly across the workers (one chunk per worker).
+    Either way, results are merged in submission order, so chunking is
+    invisible in the output.
+    """
+
+    backend = "process"
+
+    def __init__(self, workload, aligner: SeedExtendAligner,
+                 workers: int, chunk_tasks: int = 0):
+        if workers < 1:
+            raise ConfigurationError("process backend needs workers >= 1")
+        if chunk_tasks < 0:
+            raise ConfigurationError("chunk_tasks must be >= 0 (0 = auto)")
+        self.workload = workload
+        self.aligner = aligner
+        self.workers = workers
+        self.chunk_tasks = chunk_tasks
+        self._stats = {
+            "batches": 0, "chunks": 0, "tasks": 0,
+            "dispatch_s": 0.0, "merge_s": 0.0,
+        }
+        self._per_worker: dict[int, dict] = {}
+        self._store = SharedReadStore(workload)
+        try:
+            ctx = _pool_context()
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=ctx,
+                initializer=_worker_init,
+                initargs=(self._store.spec, aligner.x_drop, aligner.scoring,
+                          ctx.get_start_method() != "fork"),
+            )
+        except BaseException:
+            self._store.close()
+            raise
+        self._closed = False
+
+    def _chunk_size(self, n: int) -> int:
+        if self.chunk_tasks > 0:
+            return self.chunk_tasks
+        return max(1, -(-n // self.workers))
+
+    def align_tasks(self, task_indices) -> list[Alignment]:
+        idx = np.asarray(task_indices, dtype=np.int64)
+        n = int(idx.size)
+        if n == 0:
+            return []
+        chunk = self._chunk_size(n)
+        starts = range(0, n, chunk)
+        t0 = time.perf_counter()
+        futures = [
+            self._pool.submit(_align_chunk, idx[s: s + chunk]) for s in starts
+        ]
+        t1 = time.perf_counter()
+        tasks = self.workload.tasks
+        out: list[Alignment] = []
+        for s, fut in zip(starts, futures):
+            pid, align_s, rows = fut.result()
+            w = self._per_worker.setdefault(
+                pid, {"chunks": 0, "align_wall_s": 0.0}
+            )
+            w["chunks"] += 1
+            w["align_wall_s"] += align_s
+            for j in range(rows.shape[0]):
+                i = int(idx[s + j])
+                out.append(Alignment(
+                    read_a=int(tasks.read_a[i]),
+                    read_b=int(tasks.read_b[i]),
+                    score=int(rows[j, 0]),
+                    begin_a=int(rows[j, 1]),
+                    end_a=int(rows[j, 2]),
+                    begin_b=int(rows[j, 3]),
+                    end_b=int(rows[j, 4]),
+                    reverse=bool(tasks.reverse[i]),
+                    cells=int(rows[j, 5]),
+                    terminated_early=bool(rows[j, 6]),
+                ))
+        t2 = time.perf_counter()
+        st = self._stats
+        st["batches"] += 1
+        st["chunks"] += len(futures)
+        st["tasks"] += n
+        st["dispatch_s"] += t1 - t0
+        st["merge_s"] += t2 - t1
+        return out
+
+    def stats(self) -> dict:
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "chunk_tasks": self.chunk_tasks,
+            **self._stats,
+            "per_worker": {
+                pid: dict(w) for pid, w in sorted(self._per_worker.items())
+            },
+        }
+
+    def close(self) -> None:
+        """Stop the pool, then unlink the shared segments (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        self._store.close()
+
+
+def make_task_executor(workload, aligner: SeedExtendAligner | None, *,
+                       backend: str = "serial", workers: int = 1,
+                       chunk_tasks: int = 0) -> TaskExecutor:
+    """Build the backend an engine run charges its kernel batches through.
+
+    Model-kernel runs (``aligner is None``) never invoke the kernel, so
+    they always get the (free) serial backend regardless of ``backend`` —
+    spinning up a pool that no batch will ever reach would be pure
+    overhead.
+    """
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; choose from {list(BACKENDS)}"
+        )
+    if backend == "serial" or aligner is None:
+        return SerialExecutor(workload, aligner)
+    return ProcessExecutor(workload, aligner, workers=workers,
+                           chunk_tasks=chunk_tasks)

@@ -155,3 +155,72 @@ def test_fault_run_is_deterministic(capsys):
     assert main(args) == 0
     second = capsys.readouterr().out
     assert first == second
+
+
+# -- compute-backend flags (docs/PARALLEL.md) --------------------------------
+
+
+def test_invalid_backend_exits_2(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["run", "--workload", "micro", "--nodes", "1",
+              "--engine", "bsp-micro", "--backend", "threads"])
+    assert exc.value.code == 2
+    assert "--backend" in capsys.readouterr().err
+
+
+def test_workers_zero_exits_2(capsys):
+    rc = main(["run", "--workload", "micro", "--nodes", "1",
+               "--cores-per-node", "4", "--engine", "bsp-micro",
+               "--kernel", "real", "--backend", "process", "--workers", "0"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "workers" in err
+
+
+def test_negative_chunk_tasks_exits_2(capsys):
+    rc = main(["run", "--workload", "micro", "--nodes", "1",
+               "--cores-per-node", "4", "--engine", "bsp-micro",
+               "--kernel", "real", "--backend", "process",
+               "--chunk-tasks", "-1"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "chunk_tasks" in err
+
+
+@pytest.mark.parametrize("extra", [
+    ["--kernel", "real"],
+    ["--backend", "process"],
+    ["--workers", "2"],
+    ["--chunk-tasks", "5"],
+])
+def test_backend_flags_rejected_for_macro_engines(capsys, extra):
+    rc = main(["run", "--workload", "micro", "--nodes", "1",
+               "--cores-per-node", "8", "--engine", "bsp"] + extra)
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "micro engines only" in err
+    assert "Traceback" not in err
+
+
+def test_run_micro_with_process_backend(capsys):
+    rc = main(["run", "--workload", "micro", "--nodes", "1",
+               "--cores-per-node", "4", "--engine", "bsp-micro",
+               "--kernel", "real", "--backend", "process", "--workers", "2",
+               "--metrics"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "bsp-micro" in out and "wall" in out
+    # executor wall-clock accounting surfaces as exec_* counters
+    assert "exec_dispatch_s" in out and "exec_w0_chunks" in out
+
+
+def test_run_micro_serial_vs_process_same_breakdown(capsys):
+    base = ["run", "--workload", "micro", "--nodes", "1",
+            "--cores-per-node", "4", "--engine", "async-micro",
+            "--kernel", "real"]
+    assert main(base) == 0
+    serial_out = capsys.readouterr().out
+    assert main(base + ["--backend", "process", "--workers", "2"]) == 0
+    process_out = capsys.readouterr().out
+    # identical simulated results => identical printed breakdowns
+    assert serial_out == process_out

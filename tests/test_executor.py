@@ -1,0 +1,213 @@
+"""Compute-backend tests: determinism, chunking invariance, clean shutdown.
+
+The contract under test (docs/PARALLEL.md): the ``process`` backend is
+bit-identical to ``serial`` for *any* worker count and chunk size, and a
+run — finished or fault-aborted — leaves behind no worker processes and no
+shared-memory segments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.align.seedextend import Alignment, SeedExtendAligner
+from repro.core.api import get_workload, run_alignment
+from repro.engines.base import EngineConfig
+from repro.errors import ConfigurationError, RankFailureError
+from repro.faults import parse_fault_spec
+from repro.machine.config import cori_knl
+from repro.runtime.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    active_shm_segments,
+    make_task_executor,
+)
+
+N_TASK_CAP = 120  # plenty of chunk boundaries, still fast per example
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_workload("micro", seed=11)
+
+
+@pytest.fixture(scope="module")
+def serial(workload):
+    return SerialExecutor(workload, SeedExtendAligner())
+
+
+@pytest.fixture(scope="module")
+def pools(workload):
+    """One persistent pool per worker count, shared across examples."""
+    executors = {
+        w: ProcessExecutor(workload, SeedExtendAligner(), workers=w)
+        for w in (1, 2, 4)
+    }
+    yield executors
+    for ex in executors.values():
+        ex.close()
+
+
+def _fields(al: Alignment) -> dict:
+    return dataclasses.asdict(al)
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    workers=st.sampled_from([1, 2, 4]),
+    chunk_tasks=st.integers(min_value=0, max_value=17),
+    indices=st.lists(st.integers(min_value=0, max_value=N_TASK_CAP - 1),
+                     min_size=0, max_size=48),
+)
+def test_process_backend_matches_serial_fieldwise(
+        serial, pools, workers, chunk_tasks, indices):
+    """Any (worker count, chunk size, task subset) is bit-identical."""
+    ex = pools[workers]
+    ex.chunk_tasks = chunk_tasks  # plain attribute read by _chunk_size
+    got = ex.align_tasks(indices)
+    want = serial.align_tasks(indices)
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert _fields(g) == _fields(w)
+
+
+def test_empty_batch(serial, pools):
+    assert serial.align_tasks([]) == []
+    assert pools[2].align_tasks([]) == []
+
+
+def test_chunk_size_policy(workload):
+    ex = ProcessExecutor(workload, SeedExtendAligner(), workers=4)
+    try:
+        # 0 = split evenly across workers (ceiling division)
+        assert ex._chunk_size(10) == 3
+        assert ex._chunk_size(4) == 1
+        # explicit chunk_tasks wins
+        ex.chunk_tasks = 5
+        assert ex._chunk_size(1000) == 5
+    finally:
+        ex.close()
+
+
+def test_stats_shape(workload):
+    ex = ProcessExecutor(workload, SeedExtendAligner(), workers=2)
+    try:
+        ex.align_tasks(range(9))
+        s = ex.stats()
+        assert s["backend"] == "process"
+        assert s["batches"] == 1
+        assert s["tasks"] == 9
+        assert s["chunks"] >= 1
+        assert s["dispatch_s"] >= 0 and s["merge_s"] >= 0
+        total_chunks = sum(w["chunks"] for w in s["per_worker"].values())
+        assert total_chunks == s["chunks"]
+    finally:
+        ex.close()
+
+
+def test_model_kernel_always_gets_serial(workload):
+    """No aligner -> no kernel batches -> a pool would be pure overhead."""
+    ex = make_task_executor(workload, None, backend="process", workers=4)
+    assert isinstance(ex, SerialExecutor)
+
+
+def test_unknown_backend_rejected(workload):
+    with pytest.raises(ConfigurationError):
+        make_task_executor(workload, SeedExtendAligner(), backend="threads")
+
+
+# -- shutdown hygiene --------------------------------------------------------
+
+
+def _alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except OSError:
+        return False
+    return True
+
+
+def test_close_reaps_workers_and_segments(workload):
+    baseline = active_shm_segments()  # other fixtures may hold segments
+    ex = ProcessExecutor(workload, SeedExtendAligner(), workers=2)
+    ex.align_tasks(range(6))
+    assert active_shm_segments() - baseline  # store is live while running
+    pids = list(ex._pool._processes)
+    assert pids and all(_alive(p) for p in pids)
+    ex.close()
+    ex.close()  # idempotent
+    assert active_shm_segments() == baseline
+    assert not any(_alive(p) for p in pids)
+
+
+def test_resource_tracker_claims_balance(workload, monkeypatch):
+    """Every parent-side tracker registration is released exactly once.
+
+    Guards the fork-context subtlety: workers share the parent's resource
+    tracker, so an extra worker-side unregister (or a missing parent-side
+    unlink) would unbalance the tracker's cache and spew KeyError noise at
+    interpreter exit.
+    """
+    from multiprocessing import resource_tracker
+
+    events: list[tuple[str, str]] = []
+    real_register = resource_tracker.register
+    real_unregister = resource_tracker.unregister
+
+    def register(name, rtype):
+        if rtype == "shared_memory":
+            events.append(("+", name))
+        return real_register(name, rtype)
+
+    def unregister(name, rtype):
+        if rtype == "shared_memory":
+            events.append(("-", name))
+        return real_unregister(name, rtype)
+
+    monkeypatch.setattr(resource_tracker, "register", register)
+    monkeypatch.setattr(resource_tracker, "unregister", unregister)
+
+    ex = ProcessExecutor(workload, SeedExtendAligner(), workers=2)
+    ex.align_tasks(range(5))
+    ex.close()
+
+    registered = [n for op, n in events if op == "+"]
+    unregistered = [n for op, n in events if op == "-"]
+    assert sorted(registered) == sorted(unregistered)
+    assert len(set(registered)) == len(registered)
+
+
+def test_fault_abort_leaves_no_leaks(workload):
+    """A rank death mid-run still tears the pool + segments down."""
+    baseline = active_shm_segments()
+    machine = cori_knl(1, app_cores_per_node=4)
+    cfg = EngineConfig(backend="process", workers=2)
+    with pytest.raises(RankFailureError):
+        run_alignment(workload, 1, "bsp-micro", config=cfg, machine=machine,
+                      kernel="real", fault_plan=parse_fault_spec("kill=r1@0"))
+    assert active_shm_segments() == baseline
+
+
+def test_engine_results_identical_across_backends(workload):
+    """Whole-run lockdown at the engine level (field-by-field)."""
+    baseline = active_shm_segments()
+    machine = cori_knl(1, app_cores_per_node=4)
+    base = run_alignment(workload, 1, "async-micro", config=EngineConfig(),
+                         machine=machine, kernel="real")
+    par = run_alignment(
+        workload, 1, "async-micro",
+        config=EngineConfig(backend="process", workers=4, chunk_tasks=3),
+        machine=machine, kernel="real")
+    assert base.wall_time == par.wall_time
+    assert np.array_equal(base.memory_high_water, par.memory_high_water)
+    assert len(base.alignments) == len(par.alignments)
+    for a, b in zip(base.alignments, par.alignments):
+        assert _fields(a) == _fields(b)
+    assert active_shm_segments() == baseline

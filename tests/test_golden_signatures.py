@@ -1,0 +1,68 @@
+"""Golden-signature regression suite.
+
+Every registered engine runs two small fixed synthetic workloads; each
+run's :meth:`~repro.engines.report.RunResult.signature` (a SHA-256 over a
+canonical serialization of *everything* the run produced) must match the
+digest pinned in ``tests/goldens/signatures.json``.
+
+The case matrix and run construction are imported from
+``tools/regen_goldens.py`` so this suite and the regeneration script can
+never drift apart.  A red test here means behavior changed: either fix the
+regression, or — if the change is intentional — regenerate with
+``PYTHONPATH=src python tools/regen_goldens.py`` and justify the diff in
+the same commit.
+
+The process-backend cases are the lockdown for docs/PARALLEL.md's
+determinism contract: fanning kernel batches out to a worker pool must
+reproduce the *same* digest as the inline serial run.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "regen_goldens", REPO / "tools" / "regen_goldens.py"
+)
+regen = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(regen)
+
+GOLDENS = json.loads((REPO / "tests" / "goldens" / "signatures.json")
+                     .read_text())
+
+
+def test_matrix_and_goldens_agree():
+    """The pinned file covers exactly the declared case matrix."""
+    expected = {
+        regen.case_key(engine, workload, seed)
+        for workload, seed in regen.WORKLOADS
+        for engine in regen.ENGINES
+    }
+    assert set(GOLDENS) == expected
+
+
+@pytest.mark.parametrize("key", sorted(GOLDENS))
+def test_signature_matches_golden(key):
+    engine, rest = key.split("/")
+    workload, seed = rest.split("@")
+    res = regen.compute_result(engine, workload, int(seed))
+    assert res.signature() == GOLDENS[key], (
+        f"{key}: result signature drifted from the pinned golden — "
+        f"behavioral change (regenerate deliberately with "
+        f"tools/regen_goldens.py if intended)"
+    )
+
+
+@pytest.mark.parametrize("engine", ["bsp-micro", "async-micro"])
+def test_process_backend_hits_serial_golden(engine):
+    """The parallel backend must be bit-identical to serial: same digest."""
+    key = regen.case_key(engine, "micro", 11)
+    res = regen.compute_result(engine, "micro", 11,
+                               backend="process", workers=2, chunk_tasks=7)
+    assert res.signature() == GOLDENS[key]

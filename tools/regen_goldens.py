@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Regenerate the golden result signatures in tests/goldens/signatures.json.
+
+The golden suite (``tests/test_golden_signatures.py``) pins a SHA-256
+signature (:meth:`repro.engines.report.RunResult.signature`) for every
+registered engine on two small fixed synthetic workloads.  A signature
+covers *everything* a run produces — wall clock, all per-rank category
+vectors, memory high-water marks, alignments field-by-field, details — so
+any behavioral change trips the suite, while pure refactors keep it green.
+
+When a change is *supposed* to shift behavior (a model fix, a kernel
+change), regenerate deliberately::
+
+    PYTHONPATH=src python tools/regen_goldens.py
+
+then review the diff of ``tests/goldens/signatures.json`` in the same
+commit as the behavioral change, stating why the numbers moved.
+
+The case matrix and the result-construction helper live here so the test
+module imports them — the suite and the regeneration script can never
+disagree about what a case means.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.core.api import get_workload, run_alignment  # noqa: E402
+from repro.engines.base import EngineConfig  # noqa: E402
+from repro.engines.registry import get_engine  # noqa: E402
+from repro.machine.config import cori_knl  # noqa: E402
+
+GOLDENS_PATH = REPO / "tests" / "goldens" / "signatures.json"
+
+#: (workload preset, synthesis seed) — two small sequence-level workloads,
+#: fast enough that every engine runs them with the real kernel in seconds
+WORKLOADS = (("micro", 11), ("micro", 23))
+
+#: every registered engine: three macro strategies + both micro SPMD codes
+ENGINES = ("bsp", "async", "hybrid", "bsp-micro", "async-micro")
+
+NODES = 2
+CORES_PER_NODE = 4  # P = 8 ranks: several ranks per node, still fast
+
+
+def case_key(engine: str, workload: str, seed: int) -> str:
+    return f"{engine}/{workload}@{seed}"
+
+
+def compute_result(engine: str, workload: str, seed: int, *,
+                   backend: str = "serial", workers: int = 1,
+                   chunk_tasks: int = 0):
+    """One golden case's run: micro engines get the real kernel."""
+    w = get_workload(workload, seed=seed)
+    machine = cori_knl(NODES, app_cores_per_node=CORES_PER_NODE)
+    kernel = "real" if get_engine(engine).is_micro else "model"
+    config = EngineConfig(backend=backend, workers=workers,
+                          chunk_tasks=chunk_tasks)
+    return run_alignment(w, NODES, engine, config=config,
+                         machine=machine, kernel=kernel)
+
+
+def compute_signatures() -> dict[str, str]:
+    return {
+        case_key(engine, workload, seed):
+            compute_result(engine, workload, seed).signature()
+        for workload, seed in WORKLOADS
+        for engine in ENGINES
+    }
+
+
+def main() -> int:
+    signatures = compute_signatures()
+    GOLDENS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    old = (
+        json.loads(GOLDENS_PATH.read_text())
+        if GOLDENS_PATH.exists() else {}
+    )
+    for key in sorted(signatures):
+        status = (
+            "unchanged" if old.get(key) == signatures[key]
+            else ("NEW" if key not in old else "CHANGED")
+        )
+        print(f"  {key:30s} {signatures[key][:16]}…  {status}")
+    GOLDENS_PATH.write_text(json.dumps(signatures, indent=2, sort_keys=True)
+                            + "\n")
+    print(f"wrote {len(signatures)} signatures -> {GOLDENS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
