@@ -39,7 +39,7 @@ from repro.core.api import (
 from repro.engines.base import EngineConfig
 from repro.engines.registry import available_engines, get_engine
 from repro.runtime.executor import BACKENDS
-from repro.errors import ConfigurationError, FaultError
+from repro.errors import ConfigurationError, ExecutorError, FaultError
 from repro.faults import parse_fault_spec
 from repro.genome.datasets import DATASETS
 from repro.obs import MetricsRegistry, Tracer, check_breakdown, check_trace
@@ -89,8 +89,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="micro engines only: 'real' runs the X-drop "
                             "alignment kernel; 'model' charges modeled costs")
     p_run.add_argument("--backend", choices=list(BACKENDS), default="serial",
-                       help="compute backend for --kernel real task batches "
-                            "(docs/PARALLEL.md)")
+                       help="compute backend for --kernel real task batches: "
+                            "serial inline, process pool, or auto "
+                            "(measures both, keeps the winner; "
+                            "docs/PARALLEL.md)")
     p_run.add_argument("--workers", type=int, default=1,
                        help="worker-process count for --backend process")
     p_run.add_argument("--chunk-tasks", type=int, default=0,
@@ -293,7 +295,7 @@ def main(argv: list[str] | None = None) -> int:
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        except FaultError as exc:
+        except (FaultError, ExecutorError) as exc:
             print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
             return 1
         _print_result(args.approach, res)

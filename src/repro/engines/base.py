@@ -73,13 +73,17 @@ class EngineConfig:
     noise_fraction : OS-noise dilation mean for non-isolated runs (Fig. 3).
     seed : RNG seed for the noise model.
     backend : compute backend for the micro engines' real-kernel batches
-        (``"serial"`` or ``"process"``, see :mod:`repro.runtime.executor`
-        and docs/PARALLEL.md).  Affects only real wall-clock — results and
-        simulated times are bit-identical across backends.
+        (``"serial"``, ``"process"`` or ``"auto"``, see
+        :mod:`repro.runtime.executor` and docs/PARALLEL.md).  ``auto``
+        measures serial vs pool throughput on the first batches and
+        commits to whichever wins on this machine/workload.  Affects only
+        real wall-clock — results and simulated times are bit-identical
+        across backends.
     workers : worker-process count of the ``process`` backend (>= 1;
-        ignored by ``serial``).
-    chunk_tasks : tasks per dispatched chunk for the ``process`` backend;
-        0 splits each batch evenly across the workers.
+        ignored by ``serial``).  For ``auto``, the default 1 means "one
+        worker per core (capped at 8)"; any value > 1 is used as-is.
+    chunk_tasks : tasks per dispatched chunk for the ``process`` and
+        ``auto`` backends; 0 splits each batch evenly across the workers.
     """
 
     mode: ExecutionMode = ExecutionMode.FULL

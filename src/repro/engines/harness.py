@@ -79,6 +79,10 @@ def resolve_executor(config: EngineConfig, workload, aligner) -> TaskExecutor:
     Engines hold the result in a ``with`` block so the pool and its
     shared-memory segments are torn down even when a fault plan aborts the
     run mid-flight (``tests/test_executor.py`` asserts nothing leaks).
+    ``backend="auto"`` resolves to the measure-then-choose
+    :class:`~repro.runtime.executor.AutoExecutor`; an explicit
+    ``"process"`` request on a model-kernel run downgrades to serial with
+    a :class:`RuntimeWarning` plus the ``exec_backend_downgraded`` metric.
     """
     return make_task_executor(
         workload, aligner,

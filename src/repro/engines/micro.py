@@ -143,15 +143,19 @@ class _MicroBase:
         if ctx.faults is not None:
             details["faults_injected"] = ctx.faults.total_injected
             details["fault_kinds"] = dict(ctx.faults.injected)
-        if (executor is not None and executor.backend != "serial"
-                and ctx.metrics is not None):
-            # real wall-clock dispatch/merge accounting: counters, not
-            # RunResult details, so results stay bit-identical to serial
+        if executor is not None and ctx.metrics is not None:
+            # real wall-clock dispatch/wait/merge accounting: counters, not
+            # RunResult details, so results stay bit-identical to serial.
+            # A plain serial executor contributes nothing; a *downgraded*
+            # one (process requested, model kernel) still surfaces
+            # exec_backend_downgraded so the downgrade is never silent.
             stats = executor.stats()
-            per_worker = stats.pop("per_worker", {})
-            ctx.metrics.merge_scalars("exec_", stats)
-            for slot, (_pid, wstats) in enumerate(sorted(per_worker.items())):
-                ctx.metrics.merge_scalars(f"exec_w{slot}_", wstats)
+            if executor.backend != "serial" or stats.get("backend_downgraded"):
+                per_worker = stats.pop("per_worker", {})
+                ctx.metrics.merge_scalars("exec_", stats)
+                for slot, (_pid, wstats) in enumerate(
+                        sorted(per_worker.items())):
+                    ctx.metrics.merge_scalars(f"exec_w{slot}_", wstats)
         # the accumulator path reports through the conservation checker;
         # the trace re-sum runs inside finish_run when a tracer is attached
         return finish_run(

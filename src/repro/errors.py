@@ -53,3 +53,17 @@ class RankFailureError(FaultError):
 
 class PartitionError(ReproError):
     """Read/task partitioning violated an invariant."""
+
+
+class ExecutorError(ReproError):
+    """The compute backend failed outside the simulation model."""
+
+
+class WorkerCrashError(ExecutorError):
+    """A process-backend worker died mid-batch.
+
+    Wraps :class:`concurrent.futures.process.BrokenProcessPool` so callers
+    never have to catch a ``concurrent.futures`` internal: the message
+    carries the pool shape (workers, chunk size) and the failing batch's
+    task count, which is what a reproduction needs.  The pool is unusable
+    afterwards; ``close()`` still tears down cleanly (no shm leak)."""

@@ -45,10 +45,12 @@ class MetricsRegistry:
         """Fold a flat dict of scalar counters in under ``prefix``.
 
         Used for *real wall-clock* accounting that has no per-rank
-        structure — e.g. the process-backend executor's per-worker
-        dispatch/merge timings (``exec_dispatch_s``, ``exec_w0_align_s``,
-        ...).  Non-numeric values are skipped, so callers can pass a stats
-        dict verbatim.
+        structure — e.g. the process-backend executor's
+        dispatch/wait/merge split and per-worker timings
+        (``exec_dispatch_s``, ``exec_wait_s``, ``exec_merge_s``,
+        ``exec_w0_align_wall_s``, ...) or the auto backend's probe
+        measurements and ``exec_backend_downgraded``.  Non-numeric values
+        are skipped, so callers can pass a stats dict verbatim.
         """
         for name, value in values.items():
             if isinstance(value, bool) or not isinstance(value, (int, float)):

@@ -14,22 +14,35 @@ align_batch`:
   POSIX shared memory (:class:`SharedReadStore` wraps the existing numpy
   arrays — the ``ReadSet`` code buffer / CSR offsets and the flat
   ``TaskTable`` columns).  Per batch, workers receive only
-  ``(task_index_chunk,)`` descriptors — never sequence copies — align
-  their chunk with the batched wavefront kernel, and return compact int64
-  result arrays that the parent merges back **in deterministic task
-  order**.
+  ``(task_index_chunk, output_offset)`` descriptors — never sequence
+  copies — align their chunk with the batched wavefront kernel, and write
+  compact ``(n, 7)`` int64 result rows **directly into a preallocated
+  shared-memory output array at their chunk offsets**.  Nothing is
+  pickled on the return path beyond a ``(pid, seconds, count)`` triple;
+  the parent rehydrates :class:`Alignment` objects lazily from the shared
+  rows only where a consumer needs objects (:meth:`align_tasks`), or
+  hands the raw rows out untouched (:meth:`align_tasks_rows`).
+* ``auto`` — :class:`AutoExecutor` measures, then chooses.  The first
+  real batches run serial to sample kernel throughput; if the machine has
+  spare cores and the batches are big enough to amortize dispatch, the
+  next batches probe a process pool, and whichever side measures faster
+  wins the rest of the run.  Single-core machines and tiny-batch
+  workloads (the async engine's per-callback groups) commit to serial
+  without ever paying for a pool, so ``auto`` is a safe default
+  everywhere.
 
 Determinism contract: the batched kernel is bit-identical to the scalar
 kernel per pair (``repro.align.batch``), so chunk boundaries cannot change
-any result; the parent merges chunks in submission order; and simulated
-time never touches the backend (it only spends real wall-clock).  A
-``process`` run is therefore bit-identical to a ``serial`` run for any
-worker count and chunk size — locked down by ``tests/test_executor.py``
-and the golden-signature suite.
+any result; chunks write disjoint row ranges of the output array at their
+submission offsets; and simulated time never touches the backend (it only
+spends real wall-clock).  A ``process`` or ``auto`` run is therefore
+bit-identical to a ``serial`` run for any worker count and chunk size —
+locked down by ``tests/test_executor.py`` and the golden-signature suite.
 
 When ``serial`` wins: dispatching a chunk costs roughly a millisecond of
-IPC, so tiny per-callback groups (the async engine's common case) only pay
-off once the kernel work per chunk dominates — see
+IPC, so tiny per-callback groups only pay off once the kernel work per
+chunk dominates — ``auto`` exists precisely to make that call from
+measurements instead of folklore; see
 ``benchmarks/bench_executor_scaling.py`` for the measured crossover and
 ``docs/PARALLEL.md`` for the design discussion.
 """
@@ -39,26 +52,34 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import shared_memory
 
 import numpy as np
 
 from repro.align.seedextend import Alignment, SeedExtendAligner
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WorkerCrashError
 
 __all__ = [
     "BACKENDS",
     "TaskExecutor",
     "SerialExecutor",
     "ProcessExecutor",
+    "AutoExecutor",
     "SharedReadStore",
     "make_task_executor",
     "active_shm_segments",
 ]
 
 #: the valid ``EngineConfig.backend`` values
-BACKENDS = ("serial", "process")
+BACKENDS = ("serial", "process", "auto")
+
+#: int64 columns of one result row: score, begin_a, end_a, begin_b, end_b,
+#: cells, terminated_early
+_ROW_WIDTH = 7
 
 #: names of shared-memory segments created and not yet unlinked by this
 #: process — the leak oracle ``tests/test_executor.py`` asserts empties
@@ -94,15 +115,51 @@ def _task_pairs(codes, tasks, task_indices) -> list[tuple]:
     ]
 
 
+def _pack_rows(alignments) -> np.ndarray:
+    """Compact ``(n, 7)`` int64 rows for a list of alignments."""
+    out = np.empty((len(alignments), _ROW_WIDTH), dtype=np.int64)
+    for j, al in enumerate(alignments):
+        out[j, 0] = al.score
+        out[j, 1] = al.begin_a
+        out[j, 2] = al.end_a
+        out[j, 3] = al.begin_b
+        out[j, 4] = al.end_b
+        out[j, 5] = al.cells
+        out[j, 6] = al.terminated_early
+    return out
+
+
+def _rehydrate(tasks, idx: np.ndarray, rows: np.ndarray) -> list[Alignment]:
+    """Alignment objects from result rows + the task columns the parent owns."""
+    out: list[Alignment] = []
+    for j in range(rows.shape[0]):
+        i = int(idx[j])
+        out.append(Alignment(
+            read_a=int(tasks.read_a[i]),
+            read_b=int(tasks.read_b[i]),
+            score=int(rows[j, 0]),
+            begin_a=int(rows[j, 1]),
+            end_a=int(rows[j, 2]),
+            begin_b=int(rows[j, 3]),
+            end_b=int(rows[j, 4]),
+            reverse=bool(tasks.reverse[i]),
+            cells=int(rows[j, 5]),
+            terminated_early=bool(rows[j, 6]),
+        ))
+    return out
+
+
 class TaskExecutor:
     """Common surface of the compute backends.
 
     ``align_tasks(task_indices)`` returns one
-    :class:`~repro.align.seedextend.Alignment` per index, in input order.
-    ``aligner`` is ``None`` in model-kernel runs — engines then skip the
-    call entirely.  Executors are context managers; :meth:`close` is
-    idempotent and must run even when a fault plan aborts the engine
-    mid-run (the engines hold the executor in a ``with`` block).
+    :class:`~repro.align.seedextend.Alignment` per index, in input order;
+    ``align_tasks_rows`` returns the same results as a compact ``(n, 7)``
+    int64 array for consumers that never need objects.  ``aligner`` is
+    ``None`` in model-kernel runs — engines then skip the call entirely.
+    Executors are context managers; :meth:`close` is idempotent and must
+    run even when a fault plan aborts the engine mid-run (the engines hold
+    the executor in a ``with`` block).
     """
 
     backend: str = "serial"
@@ -111,8 +168,11 @@ class TaskExecutor:
     def align_tasks(self, task_indices) -> list[Alignment]:
         raise NotImplementedError
 
+    def align_tasks_rows(self, task_indices) -> np.ndarray:
+        raise NotImplementedError
+
     def stats(self) -> dict:
-        """Wall-clock dispatch/merge accounting (empty for serial)."""
+        """Wall-clock dispatch/wait/merge accounting (empty for serial)."""
         return {"backend": self.backend}
 
     def close(self) -> None:
@@ -130,15 +190,32 @@ class SerialExecutor(TaskExecutor):
 
     backend = "serial"
 
-    def __init__(self, workload, aligner: SeedExtendAligner | None):
+    def __init__(self, workload, aligner: SeedExtendAligner | None,
+                 downgraded_from: str | None = None):
         self.workload = workload
         self.aligner = aligner
+        #: backend the caller asked for when this serial executor is a
+        #: downgrade (model-kernel run requested ``process``) — surfaced
+        #: as the ``exec_backend_downgraded`` metric, never silent
+        self.downgraded_from = downgraded_from
 
     def align_tasks(self, task_indices) -> list[Alignment]:
+        if len(task_indices) == 0:
+            return []
         return self.aligner.align_batch(
             _task_pairs(self.workload.reads.codes, self.workload.tasks,
                         task_indices)
         )
+
+    def align_tasks_rows(self, task_indices) -> np.ndarray:
+        return _pack_rows(self.align_tasks(task_indices))
+
+    def stats(self) -> dict:
+        s = {"backend": self.backend}
+        if self.downgraded_from is not None:
+            s["backend_downgraded"] = 1.0
+            s["downgraded_from"] = self.downgraded_from
+        return s
 
 
 # -- process backend ---------------------------------------------------------
@@ -151,7 +228,7 @@ class SharedReadStore:
     buffer and int64 CSR offsets, plus the five flat ``TaskTable`` columns
     — one segment each, copied once at pool start.  Workers attach by name
     and reconstruct zero-copy ndarray views, so per-batch traffic is task
-    indices in, compact result arrays out.
+    indices in, rows written straight into the shared output array out.
     """
 
     def __init__(self, workload):
@@ -197,6 +274,53 @@ class SharedReadStore:
         self._closed = True
 
 
+class _SharedOutput:
+    """Preallocated ``(capacity, 7)`` int64 result array in shared memory.
+
+    Sized from the first batch's task count and **reused across batches**;
+    grows geometrically (new segment, old unlinked) when a later batch is
+    larger, so reallocation is rare.  Chunks write disjoint row ranges at
+    their submission offsets, which is what makes the return path
+    zero-copy: the parent reads results where the workers left them.
+    """
+
+    def __init__(self):
+        self._shm: shared_memory.SharedMemory | None = None
+        self.capacity = 0
+        self.name: str | None = None
+        self.view: np.ndarray | None = None
+
+    def ensure(self, n: int) -> None:
+        """Guarantee room for ``n`` rows (contents are batch-scratch)."""
+        if n <= self.capacity:
+            return
+        cap = max(n, 2 * self.capacity)
+        self.close()
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, cap * _ROW_WIDTH * 8)
+        )
+        _ACTIVE_SEGMENTS.add(shm.name)
+        self._shm = shm
+        self.capacity = cap
+        self.name = shm.name
+        self.view = np.ndarray((cap, _ROW_WIDTH), dtype=np.int64,
+                               buffer=shm.buf)
+
+    def close(self) -> None:
+        if self._shm is None:
+            return
+        self.view = None
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        _ACTIVE_SEGMENTS.discard(self._shm.name)
+        self._shm = None
+        self.capacity = 0
+        self.name = None
+
+
 def _pool_context():
     """Start-method context for the pool: ``fork`` wherever available.
 
@@ -212,27 +336,37 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+def _disown_tracker_claim(shm: shared_memory.SharedMemory) -> None:
+    """Hand a worker-side attach registration back to the parent.
+
+    On < 3.13, attaching also *registers* the segment with the worker's
+    own resource tracker (spawn/forkserver), which would unlink it a
+    second time after the parent already has and warn about a leak that
+    never happened.  The parent owns the lifecycle.
+    """
+    try:  # pragma: no cover - exercised only under spawn
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
 class _WorkerState:
     """Per-worker-process view of the shared store + a private aligner."""
 
     def __init__(self, spec: dict, x_drop: int, scoring,
                  disown_tracker: bool = False):
         self._shms: list[shared_memory.SharedMemory] = []
+        self._disown = disown_tracker
+        self._out_shm: shared_memory.SharedMemory | None = None
+        self._out_name: str | None = None
+        self._out_view: np.ndarray | None = None
         arrays: dict[str, np.ndarray] = {}
         for name, (shm_name, shape, dtype) in spec["arrays"].items():
             shm = shared_memory.SharedMemory(name=shm_name)
             if disown_tracker:
-                # On < 3.13, attaching also *registers* the segment with
-                # the worker's own resource tracker (spawn/forkserver),
-                # which would unlink it a second time after the parent
-                # already has and warn about a leak that never happened.
-                # The parent owns the lifecycle; hand the claim back.
-                try:  # pragma: no cover - exercised only under spawn
-                    from multiprocessing import resource_tracker
-
-                    resource_tracker.unregister(shm._name, "shared_memory")
-                except Exception:
-                    pass
+                _disown_tracker_claim(shm)
             self._shms.append(shm)
             arrays[name] = np.ndarray(
                 shape, dtype=np.dtype(dtype), buffer=shm.buf
@@ -248,6 +382,24 @@ class _WorkerState:
 
     def codes(self, read_id: int) -> np.ndarray:
         return self.buffer[self.offsets[read_id]: self.offsets[read_id + 1]]
+
+    def output(self, name: str, capacity: int) -> np.ndarray:
+        """Writable view of the parent's shared output array.
+
+        Cached between chunks; re-attaches only when the parent grew the
+        array (growth means a fresh segment under a fresh name).
+        """
+        if name != self._out_name:
+            if self._out_shm is not None:
+                self._out_shm.close()
+            shm = shared_memory.SharedMemory(name=name)
+            if self._disown:
+                _disown_tracker_claim(shm)
+            self._out_shm = shm
+            self._out_name = name
+            self._out_view = np.ndarray((capacity, _ROW_WIDTH),
+                                        dtype=np.int64, buffer=shm.buf)
+        return self._out_view
 
 
 class _TaskColumns:
@@ -271,29 +423,23 @@ def _worker_init(spec: dict, x_drop: int, scoring,
     _WORKER_STATE = _WorkerState(spec, x_drop, scoring, disown_tracker)
 
 
-def _align_chunk(indices: np.ndarray) -> tuple[int, float, np.ndarray]:
-    """Worker entry: align one chunk, return ``(pid, seconds, results)``.
+def _align_chunk(indices: np.ndarray, offset: int, out_name: str,
+                 out_capacity: int) -> tuple[int, float, int]:
+    """Worker entry: align one chunk, write rows into the shared output.
 
-    Results are a compact ``(len(indices), 7)`` int64 array — score,
-    begin_a, end_a, begin_b, end_b, cells, terminated_early — the parent
-    rehydrates into :class:`Alignment` objects together with the task
-    columns it already holds.
+    Results land directly in the parent's preallocated output array at
+    ``[offset, offset + len(indices))`` — score, begin_a, end_a, begin_b,
+    end_b, cells, terminated_early per row — so the only thing pickled
+    back is this ``(pid, seconds, count)`` triple.
     """
     st = _WORKER_STATE
     t0 = time.perf_counter()
     alignments = st.aligner.align_batch(
         _task_pairs(st.codes, st.tasks, indices)
     )
-    out = np.empty((len(alignments), 7), dtype=np.int64)
-    for j, al in enumerate(alignments):
-        out[j, 0] = al.score
-        out[j, 1] = al.begin_a
-        out[j, 2] = al.end_a
-        out[j, 3] = al.begin_b
-        out[j, 4] = al.end_b
-        out[j, 5] = al.cells
-        out[j, 6] = al.terminated_early
-    return os.getpid(), time.perf_counter() - t0, out
+    out = st.output(out_name, out_capacity)
+    out[offset: offset + len(alignments)] = _pack_rows(alignments)
+    return os.getpid(), time.perf_counter() - t0, len(alignments)
 
 
 class ProcessExecutor(TaskExecutor):
@@ -301,8 +447,8 @@ class ProcessExecutor(TaskExecutor):
 
     Chunking: ``chunk_tasks`` fixes the tasks per dispatched chunk; 0
     splits each batch evenly across the workers (one chunk per worker).
-    Either way, results are merged in submission order, so chunking is
-    invisible in the output.
+    Either way, chunks write disjoint output rows at their submission
+    offsets, so chunking is invisible in the output.
     """
 
     backend = "process"
@@ -318,11 +464,12 @@ class ProcessExecutor(TaskExecutor):
         self.workers = workers
         self.chunk_tasks = chunk_tasks
         self._stats = {
-            "batches": 0, "chunks": 0, "tasks": 0,
-            "dispatch_s": 0.0, "merge_s": 0.0,
+            "batches": 0, "chunks": 0, "tasks": 0, "failed_batches": 0,
+            "dispatch_s": 0.0, "wait_s": 0.0, "merge_s": 0.0,
         }
         self._per_worker: dict[int, dict] = {}
         self._store = SharedReadStore(workload)
+        self._out = _SharedOutput()
         try:
             ctx = _pool_context()
             self._pool = ProcessPoolExecutor(
@@ -334,6 +481,7 @@ class ProcessExecutor(TaskExecutor):
             )
         except BaseException:
             self._store.close()
+            self._out.close()
             raise
         self._closed = False
 
@@ -342,48 +490,89 @@ class ProcessExecutor(TaskExecutor):
             return self.chunk_tasks
         return max(1, -(-n // self.workers))
 
-    def align_tasks(self, task_indices) -> list[Alignment]:
-        idx = np.asarray(task_indices, dtype=np.int64)
+    def _crash(self, n: int, exc: BrokenProcessPool) -> WorkerCrashError:
+        return WorkerCrashError(
+            f"a worker process died while aligning a {n}-task batch "
+            f"(pool: workers={self.workers}, chunk_tasks={self.chunk_tasks}); "
+            f"the pool cannot be reused — rerun with backend='serial' to "
+            f"isolate, or backend='auto' to let the run choose"
+        )
+
+    def _run_chunks(self, idx: np.ndarray) -> np.ndarray:
+        """Fan one batch out; return the filled view of the output rows.
+
+        ``dispatch_s`` counts future submission only, ``wait_s`` the wait
+        for worker completion.  On any worker failure the outstanding
+        futures are cancelled and awaited (so no straggler writes into a
+        reused output array), the batch counters stay untouched except
+        ``failed_batches``, and :class:`BrokenProcessPool` is wrapped in
+        the typed :class:`~repro.errors.WorkerCrashError`.
+        """
         n = int(idx.size)
-        if n == 0:
-            return []
+        self._out.ensure(n)
         chunk = self._chunk_size(n)
         starts = range(0, n, chunk)
         t0 = time.perf_counter()
-        futures = [
-            self._pool.submit(_align_chunk, idx[s: s + chunk]) for s in starts
-        ]
+        try:
+            futures = [
+                self._pool.submit(_align_chunk, idx[s: s + chunk], s,
+                                  self._out.name, self._out.capacity)
+                for s in starts
+            ]
+        except BrokenProcessPool as exc:
+            self._stats["failed_batches"] += 1
+            raise self._crash(n, exc) from exc
         t1 = time.perf_counter()
-        tasks = self.workload.tasks
-        out: list[Alignment] = []
-        for s, fut in zip(starts, futures):
-            pid, align_s, rows = fut.result()
+        results: list[tuple[int, float, int]] = []
+        try:
+            for fut in futures:
+                results.append(fut.result())
+        except BaseException as exc:
+            for fut in futures:
+                fut.cancel()
+            futures_wait(futures)
+            self._stats["failed_batches"] += 1
+            if isinstance(exc, BrokenProcessPool):
+                raise self._crash(n, exc) from exc
+            raise
+        t2 = time.perf_counter()
+        for pid, align_s, _count in results:
             w = self._per_worker.setdefault(
                 pid, {"chunks": 0, "align_wall_s": 0.0}
             )
             w["chunks"] += 1
             w["align_wall_s"] += align_s
-            for j in range(rows.shape[0]):
-                i = int(idx[s + j])
-                out.append(Alignment(
-                    read_a=int(tasks.read_a[i]),
-                    read_b=int(tasks.read_b[i]),
-                    score=int(rows[j, 0]),
-                    begin_a=int(rows[j, 1]),
-                    end_a=int(rows[j, 2]),
-                    begin_b=int(rows[j, 3]),
-                    end_b=int(rows[j, 4]),
-                    reverse=bool(tasks.reverse[i]),
-                    cells=int(rows[j, 5]),
-                    terminated_early=bool(rows[j, 6]),
-                ))
-        t2 = time.perf_counter()
         st = self._stats
         st["batches"] += 1
         st["chunks"] += len(futures)
         st["tasks"] += n
         st["dispatch_s"] += t1 - t0
-        st["merge_s"] += t2 - t1
+        st["wait_s"] += t2 - t1
+        return self._out.view[:n]
+
+    def align_tasks(self, task_indices) -> list[Alignment]:
+        idx = np.asarray(task_indices, dtype=np.int64)
+        if idx.size == 0:
+            return []
+        rows = self._run_chunks(idx)
+        t0 = time.perf_counter()
+        out = _rehydrate(self.workload.tasks, idx, rows)
+        self._stats["merge_s"] += time.perf_counter() - t0
+        return out
+
+    def align_tasks_rows(self, task_indices) -> np.ndarray:
+        """Raw result rows, skipping object rehydration entirely.
+
+        The returned array is a copy — the shared output array is reused
+        by the next batch.
+        """
+        idx = np.asarray(task_indices, dtype=np.int64)
+        if idx.size == 0:
+            return np.empty((0, _ROW_WIDTH), dtype=np.int64)
+        rows = self._run_chunks(idx)
+        t0 = time.perf_counter()
+        out = rows.copy()
+        self._stats["merge_s"] += time.perf_counter() - t0
         return out
 
     def stats(self) -> dict:
@@ -404,6 +593,172 @@ class ProcessExecutor(TaskExecutor):
         self._closed = True
         self._pool.shutdown(wait=True)
         self._store.close()
+        self._out.close()
+
+
+# -- adaptive backend --------------------------------------------------------
+
+#: real batches sampled per candidate backend before ``auto`` commits
+AUTO_PROBE_BATCHES = 2
+
+#: batches below this task count neither advance the probe nor get
+#: dispatched to a committed pool — per-chunk IPC (~1 ms) cannot pay for
+#: itself under the batched kernel's per-task cost at this size
+AUTO_MIN_PROBE_TASKS = 16
+
+#: measured pool throughput must beat serial by this factor to win —
+#: hysteresis so measurement noise near the crossover keeps the cheaper
+#: (no-pool) configuration
+AUTO_ADVANTAGE = 1.05
+
+
+class AutoExecutor(TaskExecutor):
+    """Measure-then-choose backend: probe serial and the pool, keep the winner.
+
+    The chooser is cpu-count- and workload-aware without a model: on a
+    single-core machine it commits to serial immediately (a pool can only
+    lose); otherwise the first :data:`AUTO_PROBE_BATCHES` meaningfully
+    sized batches run serial to sample tasks/sec, the next ones run
+    through a lazily started :class:`ProcessExecutor`, and the side that
+    measured faster (pool discounted by :data:`AUTO_ADVANTAGE`) executes
+    the rest of the run.  Batches smaller than
+    :data:`AUTO_MIN_PROBE_TASKS` always run inline — they neither inform
+    nor use the pool.  Every path is bit-identical (same kernel, same
+    order), so probing is invisible in the results.
+    """
+
+    backend = "auto"
+
+    def __init__(self, workload, aligner: SeedExtendAligner,
+                 workers: int = 1, chunk_tasks: int = 0):
+        self.workload = workload
+        self.aligner = aligner
+        cpus = os.cpu_count() or 1
+        #: pool size the process candidate would use: the explicit
+        #: ``workers`` knob when set (> 1), else one worker per core
+        #: (capped — beyond 8 the probe itself gets expensive)
+        self.workers = workers if workers > 1 else max(1, min(cpus, 8))
+        self.chunk_tasks = chunk_tasks
+        self._serial = SerialExecutor(workload, aligner)
+        self._process: ProcessExecutor | None = None
+        self._chosen: TaskExecutor | None = None
+        self._reason: str | None = None
+        self._serial_samples: list[tuple[int, float]] = []
+        self._process_samples: list[tuple[int, float]] = []
+        self._pool_start_s = 0.0
+        self._closed = False
+        if cpus < 2:
+            self._commit(self._serial, "single_core")
+
+    # -- decision ------------------------------------------------------------
+
+    @staticmethod
+    def decide(serial_pps: float, process_pps: float) -> bool:
+        """True when the measured pool throughput justifies the pool."""
+        return process_pps >= AUTO_ADVANTAGE * serial_pps
+
+    @staticmethod
+    def _pps(samples: list[tuple[int, float]]) -> float:
+        tasks = sum(n for n, _ in samples)
+        seconds = sum(s for _, s in samples)
+        return tasks / seconds if seconds > 0 else float("inf")
+
+    def _commit(self, executor: TaskExecutor, reason: str) -> None:
+        self._chosen = executor
+        self._reason = reason
+        if executor is not self._process and self._process is not None:
+            self._process.close()
+            self._process = None
+
+    def _probe(self, task_indices, runner):
+        """Route one batch while undecided; commit when samples suffice."""
+        n = len(task_indices)
+        if n < AUTO_MIN_PROBE_TASKS or \
+                len(self._serial_samples) < AUTO_PROBE_BATCHES:
+            target, samples = self._serial, self._serial_samples
+        else:
+            if self._process is None:
+                t0 = time.perf_counter()
+                try:
+                    self._process = ProcessExecutor(
+                        self.workload, self.aligner,
+                        workers=self.workers, chunk_tasks=self.chunk_tasks,
+                    )
+                except OSError:  # pragma: no cover - resource exhaustion
+                    self._commit(self._serial, "pool_unavailable")
+                    return runner(self._serial, task_indices)
+                self._pool_start_s = time.perf_counter() - t0
+            target, samples = self._process, self._process_samples
+        t0 = time.perf_counter()
+        out = runner(target, task_indices)
+        if n >= AUTO_MIN_PROBE_TASKS:
+            samples.append((n, time.perf_counter() - t0))
+        if len(self._process_samples) >= AUTO_PROBE_BATCHES:
+            if self.decide(self._pps(self._serial_samples),
+                           self._pps(self._process_samples)):
+                self._commit(self._process, "measured_pool_faster")
+            else:
+                self._commit(self._serial, "pool_cannot_pay")
+        return out
+
+    def _route(self, task_indices, runner):
+        if len(task_indices) == 0:
+            return runner(self._serial, task_indices)
+        if self._chosen is not None:
+            # committed — but sub-probe-size batches stay inline even when
+            # the pool won: per-chunk IPC dominates at that size
+            if (self._chosen is self._process
+                    and len(task_indices) < AUTO_MIN_PROBE_TASKS):
+                return runner(self._serial, task_indices)
+            return runner(self._chosen, task_indices)
+        return self._probe(task_indices, runner)
+
+    # -- TaskExecutor surface ------------------------------------------------
+
+    def align_tasks(self, task_indices) -> list[Alignment]:
+        return self._route(task_indices, lambda ex, t: ex.align_tasks(t))
+
+    def align_tasks_rows(self, task_indices) -> np.ndarray:
+        return self._route(task_indices,
+                           lambda ex, t: ex.align_tasks_rows(t))
+
+    @property
+    def chosen(self) -> str:
+        """The committed backend name, or ``"probing"`` while undecided."""
+        if self._chosen is None:
+            return "probing"
+        return "process" if self._chosen is self._process else "serial"
+
+    def stats(self) -> dict:
+        s = {
+            "backend": self.backend,
+            "workers": self.workers,
+            "chunk_tasks": self.chunk_tasks,
+            "chosen": self.chosen,
+            "auto_reason": self._reason or "probing",
+            "auto_chose_process": float(self._chosen is not None
+                                        and self._chosen is self._process),
+            "auto_pool_start_s": self._pool_start_s,
+        }
+        if self._serial_samples:
+            s["auto_probe_serial_pps"] = self._pps(self._serial_samples)
+        if self._process_samples:
+            s["auto_probe_process_pps"] = self._pps(self._process_samples)
+        if self._process is not None:
+            inner = self._process.stats()
+            inner.pop("backend")
+            inner.pop("workers")
+            inner.pop("chunk_tasks")
+            s.update(inner)
+        return s
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._process is not None:
+            self._process.close()
+            self._process = None
 
 
 def make_task_executor(workload, aligner: SeedExtendAligner | None, *,
@@ -414,13 +769,30 @@ def make_task_executor(workload, aligner: SeedExtendAligner | None, *,
     Model-kernel runs (``aligner is None``) never invoke the kernel, so
     they always get the (free) serial backend regardless of ``backend`` —
     spinning up a pool that no batch will ever reach would be pure
-    overhead.
+    overhead.  An explicit ``backend="process"`` request is downgraded
+    *loudly*: a :class:`RuntimeWarning` plus the
+    ``exec_backend_downgraded`` metric, so a ``--backend process`` run is
+    never mysteriously single-process.  ``auto`` downgrades silently —
+    choosing serial for a kernel-free run is its job, not a surprise.
     """
     if backend not in BACKENDS:
         raise ConfigurationError(
             f"unknown backend {backend!r}; choose from {list(BACKENDS)}"
         )
-    if backend == "serial" or aligner is None:
+    if aligner is None:
+        if backend == "process":
+            warnings.warn(
+                "backend='process' requested but this run never invokes "
+                "the alignment kernel (kernel='model'); running serial — "
+                "use kernel='real' to engage the pool",
+                RuntimeWarning, stacklevel=2,
+            )
+            return SerialExecutor(workload, None, downgraded_from="process")
+        return SerialExecutor(workload, None)
+    if backend == "serial":
         return SerialExecutor(workload, aligner)
+    if backend == "auto":
+        return AutoExecutor(workload, aligner, workers=workers,
+                            chunk_tasks=chunk_tasks)
     return ProcessExecutor(workload, aligner, workers=workers,
                            chunk_tasks=chunk_tasks)

@@ -224,3 +224,31 @@ def test_run_micro_serial_vs_process_same_breakdown(capsys):
     process_out = capsys.readouterr().out
     # identical simulated results => identical printed breakdowns
     assert serial_out == process_out
+
+
+def test_run_micro_with_auto_backend(capsys):
+    base = ["run", "--workload", "micro", "--nodes", "1",
+            "--cores-per-node", "4", "--engine", "bsp-micro",
+            "--kernel", "real"]
+    assert main(base) == 0
+    serial_out = capsys.readouterr().out
+    rc = main(base + ["--backend", "auto", "--metrics"])
+    assert rc == 0
+    auto_out = capsys.readouterr().out
+    # same simulated breakdown line, whatever auto committed to
+    assert serial_out.splitlines()[1] in auto_out
+    # the chooser's accounting surfaces as exec_* counters
+    assert "exec_auto_chose_process" in auto_out
+
+
+def test_model_kernel_process_downgrade_warns(capsys):
+    import warnings
+
+    with warnings.catch_warnings(record=True) as rec:
+        warnings.simplefilter("always")
+        rc = main(["run", "--workload", "micro", "--nodes", "1",
+                   "--cores-per-node", "4", "--engine", "bsp-micro",
+                   "--kernel", "model", "--backend", "process",
+                   "--workers", "2"])
+    assert rc == 0
+    assert any("running serial" in str(w.message) for w in rec)

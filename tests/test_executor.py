@@ -19,10 +19,12 @@ from hypothesis import strategies as st
 from repro.align.seedextend import Alignment, SeedExtendAligner
 from repro.core.api import get_workload, run_alignment
 from repro.engines.base import EngineConfig
-from repro.errors import ConfigurationError, RankFailureError
+from repro.errors import ConfigurationError, RankFailureError, WorkerCrashError
 from repro.faults import parse_fault_spec
 from repro.machine.config import cori_knl
 from repro.runtime.executor import (
+    AUTO_MIN_PROBE_TASKS,
+    AutoExecutor,
     ProcessExecutor,
     SerialExecutor,
     active_shm_segments,
@@ -78,9 +80,15 @@ def test_process_backend_matches_serial_fieldwise(
         assert _fields(g) == _fields(w)
 
 
-def test_empty_batch(serial, pools):
+def test_empty_batch(serial, pools, workload):
     assert serial.align_tasks([]) == []
     assert pools[2].align_tasks([]) == []
+    # the serial path must short-circuit *before* touching the aligner:
+    # model-kernel runs hold aligner=None and an empty group would
+    # otherwise explode on align_batch (asymmetric with process)
+    assert SerialExecutor(workload, None).align_tasks([]) == []
+    assert serial.align_tasks_rows([]).shape == (0, 7)
+    assert pools[2].align_tasks_rows([]).shape == (0, 7)
 
 
 def test_chunk_size_policy(workload):
@@ -105,17 +113,67 @@ def test_stats_shape(workload):
         assert s["batches"] == 1
         assert s["tasks"] == 9
         assert s["chunks"] >= 1
-        assert s["dispatch_s"] >= 0 and s["merge_s"] >= 0
+        assert s["failed_batches"] == 0
+        # the honest three-way split: submit-only, wait-for-workers,
+        # rehydration-only (merge_s no longer hides the wait)
+        for key in ("dispatch_s", "wait_s", "merge_s"):
+            assert s[key] >= 0
         total_chunks = sum(w["chunks"] for w in s["per_worker"].values())
         assert total_chunks == s["chunks"]
     finally:
         ex.close()
 
 
+def test_rows_api_matches_objects(serial, pools):
+    idx = list(range(24))
+    rows = pools[2].align_tasks_rows(idx)
+    want = serial.align_tasks(idx)
+    assert rows.shape == (24, 7)
+    for r, al in zip(rows, want):
+        assert list(r) == [al.score, al.begin_a, al.end_a, al.begin_b,
+                           al.end_b, al.cells, int(al.terminated_early)]
+
+
+def test_output_array_grows_and_is_reused(workload, serial):
+    """Batches larger than the current capacity reallocate transparently."""
+    ex = ProcessExecutor(workload, SeedExtendAligner(), workers=2)
+    try:
+        small = ex.align_tasks(range(6))
+        cap_after_small = ex._out.capacity
+        big = ex.align_tasks(range(96))
+        assert ex._out.capacity >= 96 > cap_after_small
+        # and shrinking back reuses the big array (no reallocation)
+        name = ex._out.name
+        again = ex.align_tasks(range(6))
+        assert ex._out.name == name
+        for got, want in zip(small + big + again,
+                             serial.align_tasks(range(6))
+                             + serial.align_tasks(range(96))
+                             + serial.align_tasks(range(6))):
+            assert _fields(got) == _fields(want)
+    finally:
+        ex.close()
+
+
 def test_model_kernel_always_gets_serial(workload):
     """No aligner -> no kernel batches -> a pool would be pure overhead."""
-    ex = make_task_executor(workload, None, backend="process", workers=4)
+    with pytest.warns(RuntimeWarning, match="running serial"):
+        ex = make_task_executor(workload, None, backend="process", workers=4)
     assert isinstance(ex, SerialExecutor)
+    # loud, not silent: the downgrade reaches the exec_* metrics
+    assert ex.stats()["backend_downgraded"] == 1.0
+    assert ex.downgraded_from == "process"
+
+
+def test_model_kernel_auto_downgrades_quietly(workload):
+    """auto choosing serial for a kernel-free run is its job, not a warning."""
+    import warnings as _warnings
+
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error")
+        ex = make_task_executor(workload, None, backend="auto", workers=4)
+    assert isinstance(ex, SerialExecutor)
+    assert "backend_downgraded" not in ex.stats()
 
 
 def test_unknown_backend_rejected(workload):
@@ -193,6 +251,166 @@ def test_fault_abort_leaves_no_leaks(workload):
         run_alignment(workload, 1, "bsp-micro", config=cfg, machine=machine,
                       kernel="real", fault_plan=parse_fault_spec("kill=r1@0"))
     assert active_shm_segments() == baseline
+
+
+# -- failure paths -----------------------------------------------------------
+
+
+def test_worker_exception_cancels_and_keeps_counters_consistent(workload):
+    """A mid-batch worker exception must not half-update the stats."""
+    ex = ProcessExecutor(workload, SeedExtendAligner(), workers=2,
+                         chunk_tasks=2)
+    try:
+        with pytest.raises(IndexError):
+            ex.align_tasks([0, 1, 10**9, 3, 4, 5])
+        s = ex.stats()
+        assert s["failed_batches"] == 1
+        assert s["batches"] == 0 and s["tasks"] == 0 and s["chunks"] == 0
+        assert s["per_worker"] == {}
+        # the pool survives a task-level exception and stays usable
+        assert len(ex.align_tasks(range(6))) == 6
+        assert ex.stats()["batches"] == 1
+    finally:
+        ex.close()
+
+
+def test_worker_crash_raises_typed_error_no_leak(workload):
+    """SIGKILLed workers surface as WorkerCrashError, not a cf internal."""
+    import signal
+
+    baseline = active_shm_segments()
+    ex = ProcessExecutor(workload, SeedExtendAligner(), workers=2)
+    try:
+        ex.align_tasks(range(8))  # spin the workers up
+        for pid in list(ex._pool._processes):
+            os.kill(pid, signal.SIGKILL)
+        with pytest.raises(WorkerCrashError, match="worker process died"):
+            ex.align_tasks(range(8))
+        assert ex.stats()["failed_batches"] == 1
+    finally:
+        ex.close()
+    assert active_shm_segments() == baseline
+
+
+# -- the auto chooser --------------------------------------------------------
+
+
+def test_auto_single_core_commits_serial_without_a_pool(workload, serial,
+                                                        monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    baseline = active_shm_segments()
+    with AutoExecutor(workload, SeedExtendAligner()) as ex:
+        assert ex.chosen == "serial"
+        assert ex.stats()["auto_reason"] == "single_core"
+        got = ex.align_tasks(range(40))
+        want = serial.align_tasks(range(40))
+        for g, w in zip(got, want):
+            assert _fields(g) == _fields(w)
+        # no pool, no shared memory — the cheap path really is cheap
+        assert ex._process is None
+        assert active_shm_segments() == baseline
+
+
+def test_auto_tiny_batches_never_probe_the_pool(workload, serial,
+                                                monkeypatch):
+    """Sub-probe-size batches (async callback groups) stay inline forever."""
+    monkeypatch.setattr(os, "cpu_count", lambda: 4)
+    baseline = active_shm_segments()
+    with AutoExecutor(workload, SeedExtendAligner()) as ex:
+        for _ in range(10):
+            got = ex.align_tasks(range(AUTO_MIN_PROBE_TASKS - 1))
+        assert ex.chosen == "probing"
+        assert ex._process is None
+        assert active_shm_segments() == baseline
+        want = serial.align_tasks(range(AUTO_MIN_PROBE_TASKS - 1))
+        for g, w in zip(got, want):
+            assert _fields(g) == _fields(w)
+
+
+def test_auto_probes_then_commits(workload, serial, monkeypatch):
+    """Big batches advance serial probe -> pool probe -> a committed choice."""
+    monkeypatch.setattr(os, "cpu_count", lambda: 4)
+    baseline = active_shm_segments()
+    with AutoExecutor(workload, SeedExtendAligner(), workers=2) as ex:
+        want = serial.align_tasks(range(80))
+        for _ in range(5):
+            got = ex.align_tasks(range(80))
+            for g, w in zip(got, want):
+                assert _fields(g) == _fields(w)
+        assert ex.chosen in ("serial", "process")
+        s = ex.stats()
+        assert s["auto_probe_serial_pps"] > 0
+        assert s["auto_probe_process_pps"] > 0
+        assert s["auto_reason"] in ("measured_pool_faster",
+                                    "pool_cannot_pay")
+        # the measurements and the commitment must agree
+        chose_pool = AutoExecutor.decide(s["auto_probe_serial_pps"],
+                                         s["auto_probe_process_pps"])
+        assert (ex.chosen == "process") == chose_pool
+    assert active_shm_segments() == baseline
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 2,
+                    reason="pool cannot win without spare cores")
+def test_auto_picks_process_on_kernel_heavy_workload(workload):
+    """With real spare cores, sustained big batches should engage the pool."""
+    with AutoExecutor(workload, SeedExtendAligner()) as ex:
+        for _ in range(4):
+            ex.align_tasks(range(N_TASK_CAP))
+        s = ex.stats()
+        # the decision must match the measurements on this machine; on a
+        # quiet >=2-core box that means the pool (kernel work dominates
+        # the ~1 ms/chunk IPC at this batch size)
+        assert (ex.chosen == "process") == AutoExecutor.decide(
+            s["auto_probe_serial_pps"], s["auto_probe_process_pps"])
+
+
+def test_auto_decision_rule():
+    assert AutoExecutor.decide(100.0, 200.0)
+    assert not AutoExecutor.decide(100.0, 100.0)  # hysteresis: tie -> serial
+    assert not AutoExecutor.decide(100.0, 104.0)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(indices=st.lists(st.integers(min_value=0, max_value=N_TASK_CAP - 1),
+                        min_size=0, max_size=12))
+def test_auto_backend_deterministic_and_matches_serial(workload, serial,
+                                                       indices):
+    """backend=auto is bit-identical to serial for any task subset, twice."""
+    with AutoExecutor(workload, SeedExtendAligner()) as ex:
+        first = ex.align_tasks(indices)
+        second = ex.align_tasks(indices)
+    want = serial.align_tasks(indices)
+    assert len(first) == len(second) == len(want)
+    for f, s, w in zip(first, second, want):
+        assert _fields(f) == _fields(s) == _fields(w)
+
+
+def test_engine_run_with_auto_backend_matches_serial(workload):
+    machine = cori_knl(1, app_cores_per_node=4)
+    base = run_alignment(workload, 1, "bsp-micro", config=EngineConfig(),
+                         machine=machine, kernel="real")
+    auto = run_alignment(workload, 1, "bsp-micro",
+                         config=EngineConfig(backend="auto", workers=2),
+                         machine=machine, kernel="real")
+    assert base.wall_time == auto.wall_time
+    assert len(base.alignments) == len(auto.alignments)
+    for a, b in zip(base.alignments, auto.alignments):
+        assert _fields(a) == _fields(b)
+
+
+def test_downgrade_metric_surfaces_in_engine_counters(workload):
+    """--backend process --kernel model is loud: warning + metric."""
+    from repro.obs import MetricsRegistry
+
+    machine = cori_knl(1, app_cores_per_node=4)
+    metrics = MetricsRegistry(machine.total_ranks)
+    with pytest.warns(RuntimeWarning, match="running serial"):
+        run_alignment(workload, 1, "bsp-micro",
+                      config=EngineConfig(backend="process", workers=2),
+                      machine=machine, kernel="model", metrics=metrics)
+    assert metrics.get("exec_backend_downgraded").sum() == 1.0
 
 
 def test_engine_results_identical_across_backends(workload):

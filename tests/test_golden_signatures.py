@@ -59,10 +59,15 @@ def test_signature_matches_golden(key):
     )
 
 
+@pytest.mark.parametrize("backend", ["process", "auto"])
 @pytest.mark.parametrize("engine", ["bsp-micro", "async-micro"])
-def test_process_backend_hits_serial_golden(engine):
-    """The parallel backend must be bit-identical to serial: same digest."""
+def test_parallel_backends_hit_serial_golden(engine, backend):
+    """process and auto must be bit-identical to serial: same digest.
+
+    For ``auto`` this covers every committed choice — whichever side the
+    probe picks on this machine, the digest cannot move.
+    """
     key = regen.case_key(engine, "micro", 11)
     res = regen.compute_result(engine, "micro", 11,
-                               backend="process", workers=2, chunk_tasks=7)
+                               backend=backend, workers=2, chunk_tasks=7)
     assert res.signature() == GOLDENS[key]
