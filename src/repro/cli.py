@@ -38,6 +38,7 @@ from repro.core.api import (
 )
 from repro.engines.base import EngineConfig
 from repro.engines.registry import available_engines, get_engine
+from repro.engines.report import churn_summary
 from repro.runtime.executor import BACKENDS
 from repro.errors import ConfigurationError, ExecutorError, FaultError
 from repro.faults import parse_fault_spec
@@ -110,6 +111,16 @@ def build_parser() -> argparse.ArgumentParser:
     fault_args(p_sweep)
     p_sweep.add_argument("--nodes", type=int, nargs="+",
                          default=[1, 4, 16, 64])
+
+    p_faults = sub.add_parser("faults", help="fault-spec utilities")
+    faults_sub = p_faults.add_subparsers(dest="faults_command", required=True)
+    p_val = faults_sub.add_parser(
+        "validate",
+        help="parse a fault spec and pretty-print the realized plan",
+    )
+    p_val.add_argument("spec",
+                       help="fault spec string, e.g. "
+                            "'evict=r1@5:grace=2,join=r3@10,redistribute'")
 
     sub.add_parser("datasets", help="list workload presets")
     sub.add_parser("engines", help="list registered engines")
@@ -234,10 +245,70 @@ def _degradation_section(clean: dict, faulty: dict, plan) -> None:
         bits += _fault_detail_bits(d)
         print(f"  {name:6s} wall {fmt_time(c):>10} -> {fmt_time(f):>10}  "
               f"({inflation})  " + "  ".join(bits))
+        summary = churn_summary(d)
+        if summary:
+            print(f"         churn: {summary}")
+
+
+def _print_fault_plan(plan) -> None:
+    """Pretty-print one parsed fault plan: clauses, policy, timeline."""
+    print(f"plan: {plan.describe() or '(no-op: no fault clauses)'}")
+    probs = [
+        f"{label}={val:g}"
+        for label, val in (("drop", plan.drop_prob),
+                           ("delay", plan.delay_prob),
+                           ("dup", plan.dup_prob),
+                           ("xchg_drop", plan.exchange_drop_prob))
+        if val
+    ]
+    if plan.delay_prob:
+        probs.append(f"delay_seconds={plan.delay_seconds:g}")
+    if probs:
+        print("message faults: " + "  ".join(probs))
+    policy = [f"redistribute={'on' if plan.redistribute else 'off'}"]
+    if plan.message_faults_possible:
+        timeout = ("auto" if plan.rpc_timeout is None
+                   else f"{plan.rpc_timeout:g}s")
+        policy.append(f"rpc_timeout={timeout}")
+        policy.append(f"rpc_max_retries={plan.rpc_max_retries}")
+    print("policy: " + "  ".join(policy))
+    for w in plan.links:
+        print(f"  [{w.start:g}s .. {w.end:g}s)  link degradation "
+              f"bandwidth x{w.bandwidth_factor:g} "
+              f"latency x{w.latency_factor:g}")
+    for w in plan.stragglers:
+        print(f"  [{w.start:g}s .. {w.end:g}s)  rank {w.rank} straggles "
+              f"x{w.factor:g}")
+    events = plan.schedule.membership_events()
+    if events:
+        print("membership timeline:")
+        for ev in events:
+            if ev.kind == "join":
+                what = f"rank {ev.rank} joins"
+            elif ev.kind == "evict_notice":
+                what = (f"rank {ev.rank} receives eviction notice "
+                        f"(grace {ev.grace:g}s: checkpoint + hand off)")
+            elif ev.kind == "evict_depart":
+                what = f"rank {ev.rank} departs (eviction honored)"
+            else:
+                what = f"rank {ev.rank} killed (abrupt)"
+            print(f"  t={ev.time:<10g} {what}")
+    if plan.has_churn:
+        print("churn: runs rebalance work across membership changes; "
+              "see docs/RESILIENCE.md")
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.command == "faults":
+        try:
+            plan = parse_fault_spec(args.spec)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        _print_fault_plan(plan)
+        return 0
 
     fault_plan = None
     if getattr(args, "faults", None):
@@ -304,6 +375,9 @@ def main(argv: list[str] | None = None) -> int:
             bits += _fault_detail_bits(res.details)
             print(f"fault report ({fault_plan.describe()}): "
                   + "  ".join(bits))
+            summary = churn_summary(res.details)
+            if summary:
+                print(f"churn report: {summary}")
         return _finish_observability(args, tracer, metrics, [res])
 
     if args.command == "compare":

@@ -35,6 +35,7 @@ from repro.engines.common import (
     survivor_share,
 )
 from repro.engines.harness import ExecutionContext
+from repro.engines.rebalance import MigrationLedger
 from repro.engines.registry import register_engine
 from repro.engines.report import RunResult
 from repro.errors import RankFailureError
@@ -106,10 +107,96 @@ class BSPEngine:
         tasks_redistributed = 0.0
         redist_counts = np.zeros(P)
         retry_counts = np.zeros(P)
+
+        # --- membership churn (joins / graced evictions; docs/RESILIENCE.md)
+        # Everything below is gated on has_churn so non-churn plans run the
+        # exact pre-churn float-op sequence.  BSP reassigns at superstep
+        # boundaries: events are honored at the first round start at/after
+        # their time, so a single-round run only sees events at t=0.
+        churn = faults is not None and faults.plan.has_churn
+        ledger = MigrationLedger() if churn else None
+        if churn:
+            for j in faults.plan.joins:
+                alive[j.rank] = False  # absent until the join is honored
+            if not alive.any():
+                raise RankFailureError(
+                    "no initial members: every rank of the machine joins "
+                    "mid-run; at least one rank must start the job"
+                )
+            # one deterministic event stream; kills ride along so same-time
+            # ordering is fixed (join < evict < kill, then by rank)
+            pending = sorted(
+                [(j.time, 0, "join", j.rank, 0.0) for j in faults.plan.joins]
+                + [(e.departure, 1, "evict", e.rank, e.grace)
+                   for e in faults.plan.evictions]
+                + [(k.time, 2, "kill", k.rank, 0.0)
+                   for k in faults.plan.kills]
+            )
+            # ranks whose unfinished quotas are *redone* by survivors
+            # (kills and grace-0 evictions); graced evictions hand their
+            # remainder off via checkpoint instead, and pre-join rounds of
+            # a joiner are simply covered by the members of those rounds
+            redist_mask = np.zeros(P, dtype=bool)
         for r in range(rounds):
             t0 = wall  # superstep start
             ctx.instant(ENGINE_LANE, "superstep", t0, round=r, rounds=rounds)
-            if faults is not None:
+            mig_bytes = 0.0
+            mig_tasks = 0.0
+            movers: list[int] = []
+            if churn:
+                remaining = (rounds - r) / rounds
+                while pending and pending[0][0] <= t0:
+                    t, _, kind, d, grace = pending.pop(0)
+                    if kind == "join":
+                        alive[d] = True
+                        moved = remaining * float(assignment.tasks_per_rank[d])
+                        mig_bytes += (float(assignment.partition_bytes[d])
+                                      + moved * BSP_TASK_RECORD_BYTES)
+                        mig_tasks += moved
+                        movers.append(d)
+                        ledger.record_join(d)
+                        faults.note_join(d)
+                        faults.note_migration(int(round(moved)))
+                        ctx.instant(ENGINE_LANE, "rank_join", t0,
+                                    joiner=d, round=r)
+                        ctx.inc("faults_injected", d)
+                    elif kind == "evict":
+                        alive[d] = False
+                        ranks_lost.append(d)
+                        ledger.record_evict(d)
+                        faults.note_evict(d)
+                        ctx.instant(ENGINE_LANE, "rank_evict", t0,
+                                    victim=d, grace=grace, round=r)
+                        ctx.inc("faults_injected", d)
+                        if grace > 0:
+                            # the grace window covered a checkpoint: the
+                            # remainder migrates instead of being redone
+                            moved = remaining * float(
+                                assignment.tasks_per_rank[d])
+                            mig_bytes += (float(assignment.partition_bytes[d])
+                                          + moved * BSP_TASK_RECORD_BYTES)
+                            mig_tasks += moved
+                            movers.append(d)
+                            faults.note_migration(int(round(moved)))
+                        else:
+                            redist_mask[d] = True
+                    else:  # kill — abrupt, still needs the redistribute flag
+                        if not faults.plan.redistribute:
+                            raise RankFailureError(
+                                f"rank {d} died at t={t:.6g}s before BSP "
+                                f"round {r}; add 'redistribute' to the "
+                                f"fault plan for graceful degradation"
+                            )
+                        alive[d] = False
+                        ranks_lost.append(d)
+                        redist_mask[d] = True
+                        ctx.record_kill(d, t0, round=r)
+                if not alive.any():
+                    raise RankFailureError(
+                        "every rank died before the run finished; nothing "
+                        "left to redistribute to"
+                    )
+            elif faults is not None:
                 for kill in faults.plan.kills:
                     if not (alive[kill.rank] and kill.time <= t0):
                         continue
@@ -132,11 +219,34 @@ class BSPEngine:
             round_send = survivor_share(send, rounds, alive, n_alive)
             round_recv = survivor_share(recv, rounds, alive, n_alive)
             if n_alive < P:
+                lost_mask = redist_mask if churn else ~alive
                 moved = float(
-                    (assignment.tasks_per_rank / rounds)[~alive].sum()
+                    (assignment.tasks_per_rank / rounds)[lost_mask].sum()
                 )
-                tasks_redistributed += moved
-                redist_counts[alive] += moved / n_alive
+                if moved:
+                    tasks_redistributed += moved
+                    redist_counts[alive] += moved / n_alive
+
+            # --- migration mini-phase (churn only): the checkpointed
+            # remainders and joiner partitions ship before the exchange;
+            # members pay comm, everyone else waits it out (sync)
+            if churn and mig_bytes > 0.0:
+                mig_dur = ctx.net.ptp_time(mig_bytes / n_alive)
+                mig_comm = np.where(alive, mig_dur, 0.0)
+                ctx.timers.add_array("comm", mig_comm)
+                ctx.timers.add_array("sync", mig_dur - mig_comm)
+                ledger.record_migration(mig_tasks, mig_bytes,
+                                        mig_dur * n_alive)
+                ctx.instant(ENGINE_LANE, "migrate", wall, round=r,
+                            ranks=movers, nbytes=mig_bytes)
+                for i in range(P):
+                    if alive[i]:
+                        ctx.phase(i, "comm", wall, mig_dur,
+                                  name=f"migrate[{r}]")
+                    else:
+                        ctx.phase(i, "sync", wall, mig_dur,
+                                  name=f"migrate-wait[{r}]")
+                wall += mig_dur
 
             # --- exchange phase (blocking collective) ---
             # a rank exchanges with roughly the same peer set every round;
@@ -228,7 +338,34 @@ class BSPEngine:
         # deaths inside the final superstep surface at the exit barrier:
         # the rank's last contribution already merged, so in redistribute
         # mode there is nothing left to redo — the run just records the loss
-        if faults is not None:
+        if churn:
+            # leftover events landed after the last superstep boundary.
+            # Departures inside the final superstep are recorded with no
+            # remaining work to move; a join this late is not honored (the
+            # work is finished — there is nothing left to hand the joiner).
+            for t, _, kind, d, grace in pending:
+                if t >= wall or kind == "join":
+                    continue
+                if kind == "kill":
+                    if not faults.plan.redistribute:
+                        raise RankFailureError(
+                            f"rank {d} died at t={t:.6g}s during the final "
+                            f"superstep (detected at the exit barrier); add "
+                            f"'redistribute' to the fault plan for graceful "
+                            f"degradation"
+                        )
+                    alive[d] = False
+                    ranks_lost.append(d)
+                    ctx.record_kill(d, t)
+                else:  # eviction departing inside the final superstep
+                    alive[d] = False
+                    ranks_lost.append(d)
+                    ledger.record_evict(d)
+                    faults.note_evict(d)
+                    ctx.instant(ENGINE_LANE, "rank_evict", t,
+                                victim=d, grace=grace)
+                    ctx.inc("faults_injected", d)
+        elif faults is not None:
             for kill in faults.plan.kills:
                 if not (alive[kill.rank] and kill.time < wall):
                     continue
@@ -257,7 +394,7 @@ class BSPEngine:
         if faults is not None:
             details = dict(details, **ctx.fault_details(
                 {"exchange_retries": int(retry_counts.max(initial=0.0))},
-                tasks_redistributed, ranks_lost,
+                tasks_redistributed, ranks_lost, ledger=ledger,
             ))
         return ctx.finalize(
             assignment, wall,

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.engines.base import EngineConfig
 from repro.engines.harness import ExecutionContext
+from repro.engines.rebalance import MigrationLedger
 from repro.errors import ConfigurationError, RankFailureError
 from repro.machine.config import MachineSpec
 from repro.machine.network import NetworkModel
@@ -36,6 +37,7 @@ __all__ = [
     "exchange_budget",
     "bsp_num_rounds",
     "survivor_share",
+    "membership_share",
     "mean_read_bytes",
     "split_pull_compute",
     "pull_overheads",
@@ -102,6 +104,26 @@ def survivor_share(x: np.ndarray, rounds: int, alive: np.ndarray,
         return xr
     lost = float(xr[~alive].sum())
     return np.where(alive, xr + lost / n_alive, 0.0)
+
+
+def membership_share(x: np.ndarray, rounds: int, schedule,
+                     t: float) -> np.ndarray:
+    """One round's per-rank quota of ``x`` under an arbitrary membership
+    timeline: absent ranks' (dead, evicted-and-departed, not-yet-joined)
+    share is carried equally by the ranks that are members at ``t``.
+
+    This is :func:`survivor_share` generalized from a static kill set to
+    the full :class:`~repro.machine.degradation.DegradationSchedule`
+    timeline — redistribute-to-survivors and redistribute-to-joiners are
+    the same piecewise math, only the mask changes.
+    """
+    member = schedule.alive_mask(t, x.size)
+    n_member = int(member.sum())
+    if n_member == 0:
+        raise RankFailureError(
+            f"no member ranks at t={t:.6g}s; nothing left to carry the work"
+        )
+    return survivor_share(x, rounds, member, n_member)
 
 
 def mean_read_bytes(assignment: WorkloadAssignment) -> float:
@@ -172,6 +194,11 @@ class PullFaultOutcome:
     tasks_redistributed: float
     redist_counts: np.ndarray
     ranks_lost: list[int]
+    #: churn accounting (``None`` unless the plan has membership churn)
+    ledger: MigrationLedger | None = None
+    #: per-rank pre-join idle seconds (``None`` = everyone starts at t=0,
+    #: which keeps :func:`assemble_pull_phases` on its original code path)
+    start_delay: np.ndarray | None = None
 
 
 def apply_pull_faults(
@@ -259,6 +286,22 @@ def apply_pull_faults(
             ctx.tracer.instant(i, "fault_inject", 0.0, kind="rpc_macro",
                                drops=drops, delays=delays, dups=dups)
 
+    if plan.has_churn:
+        # membership churn: joins, graced evictions, and kills processed
+        # in one time-ordered event loop (see _pull_churn_events)
+        ledger = MigrationLedger()
+        start_delay = np.zeros(P)
+        tasks_redistributed, redist_counts, ranks_lost = _pull_churn_events(
+            ctx, assignment, finish0, wall0,
+            local_compute, remote_compute, overhead_pre, overhead_cb, comm,
+            fault_stall, ledger, start_delay,
+        )
+        return PullFaultOutcome(
+            local_compute, remote_compute, overhead_pre, overhead_cb, comm,
+            fault_stall, retry_counts, tasks_redistributed, redist_counts,
+            ranks_lost, ledger=ledger, start_delay=start_delay,
+        )
+
     # rank deaths: the killed rank stops at its death time; the
     # survivors absorb its unfinished work as extra callback-phase
     # compute and pull traffic
@@ -311,6 +354,166 @@ def apply_pull_faults(
     )
 
 
+def _pull_churn_events(
+    ctx: ExecutionContext,
+    assignment: WorkloadAssignment,
+    finish0: np.ndarray,
+    wall0: float,
+    local_compute: np.ndarray,
+    remote_compute: np.ndarray,
+    overhead_pre: np.ndarray,
+    overhead_cb: np.ndarray,
+    comm: np.ndarray,
+    fault_stall: np.ndarray,
+    ledger: MigrationLedger,
+    start_delay: np.ndarray,
+) -> tuple[float, np.ndarray, list[int]]:
+    """Process joins, evictions, and kills on the analytic pull timeline.
+
+    Joiner work is *loaned* to the initial members at t=0; a join reclaims
+    the unfinished fraction (``1 - t/wall0``) of the loan plus a migration
+    transfer of the joiner's partition and remaining task records.  A
+    graced eviction hands its unfinished work off at the departure time as
+    a checkpoint (same piecewise math as a redistributed kill, plus the
+    checkpoint's transfer cost, accounted as migration); ``grace=0``
+    degenerates to exactly the redistributed-kill arithmetic.  Kills keep
+    requiring the ``redistribute`` flag; announced departures never do.
+
+    Events at or beyond the fault-free horizon ``wall0`` are not honored,
+    matching the existing kill semantics.
+    """
+    P = assignment.num_ranks
+    faults = ctx.faults
+    plan = faults.plan
+    net = ctx.net
+    tasks_redistributed = 0.0
+    redist_counts = np.zeros(P)
+    ranks_lost: list[int] = []
+
+    alive = np.ones(P, dtype=bool)
+    arrays = (local_compute, remote_compute, overhead_pre, overhead_cb, comm)
+    for j in plan.joins:
+        alive[j.rank] = False
+    if not alive.any():
+        raise RankFailureError(
+            "every rank joins mid-run; at least one initial member is "
+            "required"
+        )
+    # loan not-yet-joined ranks' work equally to the initial members,
+    # remembering the original totals for reclaim at join time
+    n_init = int(alive.sum())
+    loans: dict[int, tuple[float, ...]] = {}
+    for j in sorted(plan.joins, key=lambda j: j.rank):
+        jr = j.rank
+        loans[jr] = tuple(float(a[jr]) for a in arrays)
+        for a, total in zip(arrays, loans[jr]):
+            a[alive] += total / n_init
+            a[jr] = 0.0
+
+    def depart(d: int, t: float, checkpointed: bool) -> None:
+        nonlocal tasks_redistributed
+        alive[d] = False
+        if not alive.any():
+            raise RankFailureError(
+                "every rank left before the run finished; nothing "
+                "left to hand the work to"
+            )
+        n_alive = int(alive.sum())
+        done = (min(1.0, t / float(finish0[d]))
+                if finish0[d] > 0 else 1.0)
+        lost_align = (1.0 - done) * (local_compute[d] + remote_compute[d])
+        lost_oh = (1.0 - done) * (overhead_pre[d] + overhead_cb[d])
+        lost_comm = (1.0 - done) * (comm[d] + fault_stall[d])
+        for arr in (local_compute, remote_compute, overhead_pre,
+                    overhead_cb, comm, fault_stall):
+            arr[d] = arr[d] * done
+        remote_compute[alive] += lost_align / n_alive
+        overhead_cb[alive] += lost_oh / n_alive
+        comm[alive] += lost_comm / n_alive
+        moved = (1.0 - done) * float(assignment.tasks_per_rank[d])
+        if checkpointed:
+            # the remaining task records + the partition travel as a
+            # checkpoint; every member receives an equal slice in parallel
+            mbytes = (moved * ASYNC_TASK_RECORD_BYTES
+                      + float(assignment.partition_bytes[d]))
+            msec = net.ptp_time(mbytes / n_alive)
+            comm[alive] += msec
+            ledger.record_migration(moved, mbytes, msec * n_alive)
+            faults.note_migration(int(round(moved)))
+        else:
+            tasks_redistributed += moved
+            redist_counts[alive] += moved / n_alive
+
+    events = sorted(
+        [(j.time, 0, j.rank, 0.0) for j in plan.joins]
+        + [(e.departure, 1, e.rank, e.grace) for e in plan.evictions]
+        + [(k.time, 2, k.rank, 0.0) for k in plan.kills]
+    )
+    for t, kind, r, grace in events:
+        if t >= wall0:
+            continue
+        if kind == 0:  # join
+            if alive[r]:
+                continue
+            n_members = int(alive.sum())
+            u = max(0.0, 1.0 - t / wall0) if wall0 > 0 else 0.0
+            members = np.flatnonzero(alive)
+            for a, total in zip(arrays, loans.get(r, (0.0,) * len(arrays))):
+                want = u * total
+                if want <= 0.0 or n_members == 0:
+                    continue
+                # reclaim equal slices, clamped so a member already drained
+                # by its own departure never goes negative
+                per = want / n_members
+                take = np.minimum(a[members], per)
+                a[members] -= take
+                a[r] += float(take.sum())
+            alive[r] = True
+            start_delay[r] = t
+            moved = u * float(assignment.tasks_per_rank[r])
+            mbytes = (float(assignment.partition_bytes[r])
+                      + moved * ASYNC_TASK_RECORD_BYTES)
+            msec = net.ptp_time(mbytes)
+            comm[r] += msec
+            ledger.record_join(r)
+            ledger.record_migration(moved, mbytes, msec)
+            faults.note_join(r)
+            faults.note_migration(int(round(moved)))
+            if ctx.tracer is not None:
+                ctx.tracer.instant(ENGINE_LANE, "rank_join", t, joiner=r)
+            if ctx.metrics is not None:
+                ctx.metrics.inc("faults_injected", r)
+        elif kind == 1:  # eviction departure
+            if not alive[r]:
+                continue
+            depart(r, t, checkpointed=grace > 0)
+            ledger.record_evict(r)
+            faults.note_evict(r)
+            if ctx.tracer is not None:
+                ctx.tracer.instant(ENGINE_LANE, "rank_evict", t, victim=r,
+                                   grace=grace)
+            if ctx.metrics is not None:
+                ctx.metrics.inc("faults_injected", r)
+        else:  # kill
+            if not alive[r]:
+                continue
+            if not plan.redistribute:
+                raise RankFailureError(
+                    f"rank {r} died at t={t:.6g}s during "
+                    f"the async pull phase; add 'redistribute' to the "
+                    f"fault plan for graceful degradation"
+                )
+            ranks_lost.append(r)
+            faults.note_kill(r)
+            if ctx.tracer is not None:
+                ctx.tracer.instant(ENGINE_LANE, "fault_inject", t,
+                                   kind="rank_kill", victim=r)
+            if ctx.metrics is not None:
+                ctx.metrics.inc("faults_injected", r)
+            depart(r, t, checkpointed=False)
+    return tasks_redistributed, redist_counts, ranks_lost
+
+
 def assemble_pull_phases(
     ctx: ExecutionContext,
     local_compute: np.ndarray,
@@ -321,6 +524,7 @@ def assemble_pull_phases(
     fault_stall: np.ndarray,
     min_visible: float,
     bar: float,
+    start_delay: np.ndarray | None = None,
 ) -> tuple[float, np.ndarray, np.ndarray]:
     """Charge the three pull phases to the timers and emit their trace.
 
@@ -329,13 +533,20 @@ def assemble_pull_phases(
     whatever compute could not hide, floored at ``min_visible``), then the
     exit-barrier wait.  Returns ``(wall, busy, visible_comm)`` where
     ``busy`` is the callback-phase compute available for hiding.
+
+    ``start_delay`` (churn runs only) is per-rank idle time before phase A
+    can begin — a joiner waits out its pre-join window at the (split)
+    barrier, charged as sync.  ``None`` keeps the original code path.
     """
     P = ctx.num_ranks
     timers = ctx.timers
 
     # --- phase A: local-pair compute overlapped with split barrier ---
     phase_a_busy = local_compute + overhead_pre
-    phase_a_end = np.maximum(phase_a_busy, bar)
+    if start_delay is None:
+        phase_a_end = np.maximum(phase_a_busy, bar)
+    else:
+        phase_a_end = np.maximum(start_delay + phase_a_busy, bar)
     timers.add_array("compute_align", local_compute)
     timers.add_array("compute_overhead", overhead_pre)
     timers.add_array("sync", phase_a_end - phase_a_busy)
@@ -365,6 +576,7 @@ def assemble_pull_phases(
         for i in range(P):
             # phase A: local pairs + pre-overhead overlapped with the
             # split barrier, idle gap (if any) is sync
+            sd = 0.0 if start_delay is None else float(start_delay[i])
             la = float(local_compute[i])
             pre = float(overhead_pre[i])
             a_busy = float(phase_a_busy[i])
@@ -374,9 +586,11 @@ def assemble_pull_phases(
             cb = float(overhead_cb[i])
             vis = float(visible_comm[i])
             for cat, start, dur, label in (
-                ("compute_align", 0.0, la, "local-pairs"),
-                ("compute_overhead", la, pre, "index-build"),
-                ("sync", a_busy, a_end - a_busy, "split-barrier-wait"),
+                ("sync", 0.0, sd, "pre-join-idle"),
+                ("compute_align", sd, la, "local-pairs"),
+                ("compute_overhead", sd + la, pre, "index-build"),
+                ("sync", sd + a_busy, a_end - sd - a_busy,
+                 "split-barrier-wait"),
                 ("compute_align", a_end, rc, "callback-align"),
                 ("compute_overhead", a_end + rc, cb, "callback-overhead"),
                 ("comm", a_end + rc + cb, vis, "visible-pull"),

@@ -229,8 +229,13 @@ class ExecutionContext:
     # -- epilogue ------------------------------------------------------------
 
     def fault_details(self, extra: dict, tasks_redistributed: float,
-                      ranks_lost: list[int]) -> dict:
-        """The uniform fault section of a result's ``details`` dict."""
+                      ranks_lost: list[int], ledger=None) -> dict:
+        """The uniform fault section of a result's ``details`` dict.
+
+        ``ledger`` (a :class:`~repro.engines.rebalance.MigrationLedger`,
+        churn runs only) adds the uniform ``churn`` sub-dict the
+        makespan-under-churn report reads.
+        """
         d = {
             "fault_plan": self.faults.plan.describe(),
             "faults_injected": self.faults.total_injected,
@@ -239,6 +244,8 @@ class ExecutionContext:
         d.update(extra)
         d["tasks_redistributed"] = tasks_redistributed
         d["ranks_lost"] = ranks_lost
+        if ledger is not None:
+            d["churn"] = ledger.churn_details()
         return d
 
     def finalize(

@@ -98,6 +98,7 @@ class HybridEngine:
             ctx, fo.local_compute, fo.overhead_pre, fo.remote_compute,
             fo.overhead_cb, fo.comm, fo.fault_stall,
             self.config.async_min_visible, bar,
+            start_delay=fo.start_delay,
         )
 
         avg_read = mean_read_bytes(assignment)
@@ -120,7 +121,7 @@ class HybridEngine:
                     "rpc_retries": int(fo.retry_counts.sum()),
                     "rpc_stall_total": float(fo.fault_stall.sum()),
                 },
-                fo.tasks_redistributed, fo.ranks_lost,
+                fo.tasks_redistributed, fo.ranks_lost, ledger=fo.ledger,
             ))
         return ctx.finalize(
             assignment, wall,

@@ -29,6 +29,12 @@ from repro.engines.common import (
     internode_fraction,
 )
 from repro.engines.harness import finish_run, resolve_executor, resolve_tracer
+from repro.engines.rebalance import (
+    ChurnPool,
+    MigrationLedger,
+    PoolItem,
+    executor_map,
+)
 from repro.engines.registry import MICRO, register_engine
 from repro.engines.report import RunResult
 from repro.errors import ConfigurationError, RankFailureError
@@ -107,6 +113,47 @@ class _MicroBase:
                 f"engines cannot redistribute work (use a macro engine "
                 f"with 'redistribute' for graceful degradation)"
             )
+
+    def _churn_epilogue(self, ctx: SpmdContext, ledger: MigrationLedger,
+                        wall: float) -> dict:
+        """Book the run's honored membership events; the ``churn`` details.
+
+        The micro engines honor churn *implicitly* — membership is consulted
+        at superstep boundaries (BSP) or claim time (async) — so the uniform
+        accounting (injector counts, trace instants, ledger join/evict
+        lists) is settled once, after the simulation drains.  An unflagged
+        kill that took effect inside the run aborts here, mirroring the
+        macro engines' redistribute requirement.
+        """
+        faults = ctx.faults
+        plan = faults.plan
+        for ev in plan.schedule.membership_events():
+            if ev.time >= wall or ev.kind == "evict_notice":
+                continue
+            if ev.kind == "join":
+                ledger.record_join(ev.rank)
+                faults.note_join(ev.rank)
+                if ctx.tracer is not None:
+                    ctx.tracer.instant(ev.rank, "rank_join", ev.time)
+            elif ev.kind == "evict_depart":
+                ledger.record_evict(ev.rank)
+                faults.note_evict(ev.rank)
+                if ctx.tracer is not None:
+                    ctx.tracer.instant(ev.rank, "rank_evict", ev.time,
+                                       grace=ev.grace)
+            else:  # kill
+                if not plan.redistribute:
+                    raise RankFailureError(
+                        f"rank {ev.rank} died at t={ev.time:.6g}s; add "
+                        f"'redistribute' to the fault plan for graceful "
+                        f"degradation under churn"
+                    )
+                faults.note_kill(ev.rank)
+                if ctx.tracer is not None:
+                    ctx.tracer.instant(ev.rank, "fault_inject", ev.time,
+                                       kind="rank_kill", victim=ev.rank)
+            ctx.metrics.inc("faults_injected", ev.rank)
+        return {"churn": ledger.churn_details()}
 
     def _dilated(self, ctx: SpmdContext, rank: int, seconds: float) -> float:
         """Apply any active straggler window to a compute duration."""
@@ -207,31 +254,108 @@ class MicroBSPEngine(_MicroBase):
         alignments: list = []
         finish_times: dict[int, float] = {}
 
+        # --- membership churn state (docs/RESILIENCE.md) -------------------
+        # Ranks outside the current membership keep their generators running
+        # as ghosts — they stay in the collectives (so the rendezvous always
+        # completes and every rank agrees on superstep boundary times) but
+        # send nothing and compute nothing.  An absent rank's task ranges are
+        # rechunked onto members through `executor_map`, recomputed at every
+        # superstep boundary from the common post-barrier clock.
+        churn = faults is not None and faults.plan.has_churn
+        sched = faults.plan.schedule if churn else None
+        ledger = MigrationLedger() if churn else None
+        members_by_round: dict[int, np.ndarray] = {}
+        exec_by_round: dict[int, np.ndarray] = {}
+        done_by_orig = np.zeros(P, dtype=np.int64)
+        task_done: set[int] = set()
+
+        def round_items(src: int, dst: int, rnd: int) -> list:
+            read_ids = need[src].get(dst, [])
+            return [
+                (rid, float(lengths[rid]))
+                for i, rid in enumerate(read_ids)
+                if min(i * rounds // max(1, len(read_ids)), rounds - 1) == rnd
+            ]
+
         def rank_main(rank: int):
             tasks = rank_tasks[rank]
             remote = plan.remote_read[tasks]
             local_tasks = tasks[remote < 0]
 
             for rnd in range(rounds):
-                self._check_deaths(ctx)
+                my_origs: list[int] = []
+                if churn:
+                    # membership barrier: every rank leaves at the same
+                    # simulated time, so all agree on this round's members
+                    yield from coll.barrier(rank, tag=f"member{rnd}")
+                    if rnd not in exec_by_round:
+                        mask = sched.alive_mask(ctx.engine.now, P)
+                        if not mask.any():
+                            raise RankFailureError(
+                                "every rank left before the run finished; "
+                                "nothing left to delegate work to"
+                            )
+                        members_by_round[rnd] = mask
+                        exec_by_round[rnd] = executor_map(mask)
+                    exec_map = exec_by_round[rnd]
+                    my_origs = [int(o) for o in np.flatnonzero(exec_map == rank)]
+                    if rnd > 0:
+                        # checkpoint handoff: newly-delegated unfinished
+                        # ranges ship to their new executor (graceful
+                        # departures and join reclaims only — a killed
+                        # rank's work is redone from the task list, with
+                        # nothing to fetch)
+                        prev = exec_by_round[rnd - 1]
+                        for o in my_origs:
+                            if int(prev[o]) == rank:
+                                continue
+                            rem = int(len(rank_tasks[o]) - done_by_orig[o])
+                            if rem <= 0:
+                                continue
+                            ev = sched.eviction_of(o)
+                            graceful = (o == rank
+                                        or (ev is not None and ev.grace > 0))
+                            if not graceful:
+                                continue
+                            nbytes = (rem * BSP_TASK_RECORD_BYTES
+                                      + float(assignment.partition_bytes[o]))
+                            s = ctx.net.ptp_time(nbytes)
+                            yield ctx.charge("comm", rank, s,
+                                             name=f"migrate-r{o}")
+                            ledger.record_migration(rem, nbytes, s)
+                            faults.note_migration(rem)
+                            if ctx.tracer is not None:
+                                ctx.tracer.instant(rank, "migrate",
+                                                   ctx.engine.now,
+                                                   orig=o, tasks=rem)
+                else:
+                    self._check_deaths(ctx)
                 if ctx.tracer is not None:
                     ctx.tracer.instant(rank, "superstep", ctx.engine.now,
                                        round=rnd, rounds=rounds)
                 send: dict[int, list] = {}
-                for dst, read_ids in need[rank].items():
-                    items = [
-                        (rid, float(lengths[rid]))
-                        for i, rid in enumerate(read_ids)
-                        if min(i * rounds // max(1, len(read_ids)), rounds - 1) == rnd
-                    ]
-                    if items:
-                        send[dst] = items
+                if churn:
+                    # send on behalf of every orig this rank executes, and
+                    # route each destination to *its* current executor
+                    for o in my_origs:
+                        for dst in need[o]:
+                            items = round_items(o, dst, rnd)
+                            if items:
+                                send.setdefault(
+                                    int(exec_map[dst]), []
+                                ).extend(items)
+                else:
+                    for dst, read_ids in need[rank].items():
+                        items = round_items(rank, dst, rnd)
+                        if items:
+                            send[dst] = items
                 send_bytes = sum(b for items in send.values() for _, b in items)
                 received = yield from coll.alltoallv_resilient(
                     rank, send, send_bytes, round_idx=rnd, tag=f"xchg{rnd}",
                     efficiency_scale=eff_scale,
                 )
-                self._check_deaths(ctx)
+                if not churn:
+                    self._check_deaths(ctx)
                 got = {rid for rid, _ in received}
                 ctx.memory.allocate(rank, f"recv{rnd}",
                                     sum(b for _, b in received))
@@ -239,11 +363,27 @@ class MicroBSPEngine(_MicroBase):
                 # compute: local-local tasks in round 0, remote-read tasks
                 # as their reads arrive
                 todo = []
-                if rnd == 0:
-                    todo.extend(int(t) for t in local_tasks)
-                for t, rid in zip(tasks, remote):
-                    if rid >= 0 and int(rid) in got:
-                        todo.append(int(t))
+                if churn:
+                    for o in my_origs:
+                        o_tasks = rank_tasks[o]
+                        o_remote = plan.remote_read[o_tasks]
+                        if rnd == 0:
+                            todo.extend(int(t) for t in o_tasks[o_remote < 0])
+                        for t, rid in zip(o_tasks, o_remote):
+                            if rid >= 0 and int(rid) in got:
+                                todo.append(int(t))
+                    # an executor holding a read for one of its origs may
+                    # unblock another's identical need early; never twice
+                    todo = [t for t in todo if t not in task_done]
+                    task_done.update(todo)
+                    for t in todo:
+                        done_by_orig[int(plan.assigned[t])] += 1
+                else:
+                    if rnd == 0:
+                        todo.extend(int(t) for t in local_tasks)
+                    for t, rid in zip(tasks, remote):
+                        if rid >= 0 and int(rid) in got:
+                            todo.append(int(t))
                 # one batched wavefront call per round's ready set
                 for t, (seconds, alignment) in zip(
                         todo, self._tasks_compute(workload, todo, executor)):
@@ -264,7 +404,8 @@ class MicroBSPEngine(_MicroBase):
                 ctx.memory.free(rank, f"recv{rnd}")
 
             yield from coll.barrier(rank, tag="exit")
-            self._check_deaths(ctx)
+            if not churn:
+                self._check_deaths(ctx)
             finish_times[rank] = ctx.engine.now
 
         for rank in range(P):
@@ -276,11 +417,14 @@ class MicroBSPEngine(_MicroBase):
             )
         ctx.engine.spawn_all((rank_main(r) for r in range(P)), prefix="bsp-r")
         ctx.engine.run()
+        wall = max(finish_times.values(), default=ctx.engine.now)
+        details = self._churn_epilogue(ctx, ledger, wall) if churn else None
         return self._finish(
             self.name, workload, machine, ctx,
             ctx.memory.rank_high_water(), rounds,
             alignments if executor.aligner is not None else None,
-            wall_time=max(finish_times.values(), default=ctx.engine.now),
+            details=details,
+            wall_time=wall,
             executor=executor,
         )
 
@@ -315,6 +459,125 @@ class MicroAsyncEngine(_MicroBase):
 
         alignments: list = []
         finish_times: dict[int, float] = {}
+
+        # --- membership churn state (docs/RESILIENCE.md) -------------------
+        # Under churn the pull phase runs off a deterministic shared work
+        # pool: every rank's task groups (its local-local group plus one
+        # group per distinct remote read) stay queued under their original
+        # owner, members drain their own queue first and then claim orphaned
+        # groups — owner departed, or not yet joined — at pull granularity.
+        # Claims of a foreign group charge the checkpoint-record transfer.
+        # Reads of a departed owner stay servable: the grace-window
+        # checkpoint (or the initial partition, for pre-join owners) remains
+        # readable through the RPC layer.
+        churn = faults is not None and faults.plan.has_churn
+        sched = faults.plan.schedule if churn else None
+        ledger = MigrationLedger() if churn else None
+        pool = None
+        if churn:
+            items_by_orig: dict[int, list[PoolItem]] = {}
+            for r in range(P):
+                tasks_r = rank_tasks[r]
+                remote_r = plan.remote_read[tasks_r]
+                items: list[PoolItem] = []
+                local = tuple(int(t) for t in tasks_r[remote_r < 0])
+                if local:
+                    items.append(PoolItem(r, -1, local))
+                groups: dict[int, list[int]] = {}
+                for t, rid in zip(tasks_r, remote_r):
+                    if rid >= 0:
+                        groups.setdefault(int(rid), []).append(int(t))
+                for rid in sorted(groups):
+                    items.append(PoolItem(r, rid, tuple(groups[rid])))
+                if items:
+                    items_by_orig[r] = items
+            pool = ChurnPool(items_by_orig)
+
+        def churn_rank_main(rank: int):
+            jt = sched.join_time(rank)
+            dep = sched.departure_time(rank)
+            base_oh = self.config.async_base_overhead
+            yield ctx.charge("compute_overhead", rank,
+                             self._dilated(ctx, rank, 0.5 * base_oh))
+            # everyone — joiners-to-be included — meets the split barrier at
+            # start and the exit barrier at the end, so the collectives
+            # always complete
+            coll.split_barrier_enter(rank)
+            yield from coll.split_barrier_wait(rank)
+            inbox = rpc.inboxes[rank]
+
+            def is_member(orig: int) -> bool:
+                return sched.alive(orig, ctx.engine.now)
+
+            while True:
+                now = ctx.engine.now
+                if dep is not None and now >= dep:
+                    # departure: the group in flight finished (that is what
+                    # the grace window bought); everything unclaimed is now
+                    # orphaned for the members to pick up
+                    break
+                if jt is not None and now < jt:
+                    yield ctx.charge("sync", rank, jt - now, name="pre-join")
+                    continue
+                item = pool.claim(rank, is_member)
+                if item is None:
+                    if not pool.pending_anywhere():
+                        break
+                    nxt = sched.next_membership_change(now)
+                    if nxt is None:
+                        break  # leftovers belong to present members
+                    # a future departure may orphan work for this rank:
+                    # sleep to the next membership change and re-check
+                    yield ctx.charge("sync", rank, nxt - now,
+                                     name="churn-drain")
+                    continue
+                ntasks = len(item.tasks)
+                if item.orig != rank:
+                    nbytes = ntasks * ASYNC_TASK_RECORD_BYTES
+                    s = ctx.net.ptp_time(nbytes)
+                    yield ctx.charge("comm", rank, s,
+                                     name=f"migrate-r{item.orig}")
+                    ledger.record_migration(ntasks, nbytes, s)
+                    faults.note_migration(ntasks)
+                    if ctx.tracer is not None:
+                        ctx.tracer.instant(rank, "migrate", ctx.engine.now,
+                                           orig=item.orig, tasks=ntasks)
+                oh = ntasks * self.config.async_task_overhead
+                if item.rid >= 0:
+                    oh += self.config.async_read_overhead * internode
+                yield ctx.charge("compute_overhead", rank,
+                                 self._dilated(ctx, rank, oh))
+                owner = (int(plan.owner_of_read(np.array([item.rid]))[0])
+                         if item.rid >= 0 else rank)
+                if item.rid >= 0 and owner != rank:
+                    # a claimed foreign group may wait on a read this rank
+                    # itself owns — that one is a local fetch, no pull
+                    yield ctx.charge("comm", rank, rpc.injection_cost())
+                    rpc.call(rank, owner, item.rid)
+                    ctx.memory.allocate(rank, f"inflight{item.rid}",
+                                        float(lengths[item.rid]))
+                    t0 = ctx.engine.now
+                    response = yield from inbox.get()
+                    ctx.record("comm", rank, ctx.engine.now - t0,
+                               name="inbox-wait")
+                    ctx.memory.free(rank, f"inflight{response.token}")
+                for t, (seconds, alignment) in zip(
+                        item.tasks,
+                        self._tasks_compute(workload, list(item.tasks),
+                                            executor)):
+                    seconds = self._dilated(ctx, rank, seconds)
+                    if seconds:
+                        yield ctx.charge("compute_align", rank, seconds,
+                                         name=f"task{t}")
+                    ctx.metrics.inc("tasks", rank)
+                    if alignment is not None:
+                        ctx.metrics.inc("cells", rank, alignment.cells)
+                        alignments.append(alignment)
+            yield ctx.charge("compute_overhead", rank,
+                             self._dilated(ctx, rank, 0.5 * base_oh))
+            yield from coll.barrier(rank, tag="exit")
+            finish_times[rank] = ctx.engine.now
+            inbox.close()
 
         def rank_main(rank: int):
             tasks = rank_tasks[rank]
@@ -422,18 +685,23 @@ class MicroAsyncEngine(_MicroBase):
                 + float(assignment.partition_bytes[rank])
                 + len(rank_tasks[rank]) * ASYNC_TASK_RECORD_BYTES,
             )
-        ctx.engine.spawn_all((rank_main(r) for r in range(P)), prefix="async-r")
+        body = churn_rank_main if churn else rank_main
+        ctx.engine.spawn_all((body(r) for r in range(P)), prefix="async-r")
         ctx.engine.run()
+        wall = max(finish_times.values(), default=ctx.engine.now)
+        details = {
+            "rpc_calls": rpc.total_calls,
+            "rpc_retries": rpc.retries,
+            "rpc_timeouts": rpc.timeouts,
+            "rpc_dup_dropped": rpc.dups_dropped,
+        }
+        if churn:
+            details.update(self._churn_epilogue(ctx, ledger, wall))
         return self._finish(
             self.name, workload, machine, ctx,
             ctx.memory.rank_high_water(), 0,
             alignments if executor.aligner is not None else None,
-            details={
-                "rpc_calls": rpc.total_calls,
-                "rpc_retries": rpc.retries,
-                "rpc_timeouts": rpc.timeouts,
-                "rpc_dup_dropped": rpc.dups_dropped,
-            },
-            wall_time=max(finish_times.values(), default=ctx.engine.now),
+            details=details,
+            wall_time=wall,
             executor=executor,
         )

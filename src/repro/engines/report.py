@@ -26,7 +26,37 @@ from repro.errors import SimulationError
 from repro.machine.config import MachineSpec
 from repro.utils.stats import Summary, summarize
 
-__all__ = ["PhaseTimers", "RuntimeBreakdown", "RunResult", "CATEGORIES"]
+__all__ = ["PhaseTimers", "RuntimeBreakdown", "RunResult", "CATEGORIES",
+           "churn_summary"]
+
+
+def churn_summary(details: dict) -> str | None:
+    """One-line makespan-under-churn statement, or ``None`` without churn.
+
+    Reads the uniform ``details["churn"]`` section every engine emits on a
+    churned run (:class:`repro.engines.rebalance.MigrationLedger`) and
+    renders the report line the resilience story centers on: the job
+    finished despite the membership events, and this is what the
+    checkpointed handoffs cost.
+    """
+    churn = details.get("churn")
+    if not churn:
+        return None
+    ev = churn.get("evictions_honored", [])
+    jo = churn.get("joins_honored", [])
+    bits = [
+        f"job finished despite {len(ev)} eviction(s), {len(jo)} join(s)"
+    ]
+    if ev:
+        bits.append("evicted=" + ",".join(f"r{r}" for r in ev))
+    if jo:
+        bits.append("joined=" + ",".join(f"r{r}" for r in jo))
+    bits.append(
+        f"migration overhead {churn.get('migration_seconds', 0.0):.6g} s "
+        f"({churn.get('tasks_migrated', 0.0):.0f} tasks, "
+        f"{churn.get('migration_bytes', 0.0):.0f} bytes moved)"
+    )
+    return "; ".join(bits)
 
 
 def _canonical(value) -> str:

@@ -37,6 +37,8 @@ from repro.faults.spec import parse_fault_spec
 from repro.machine.degradation import (
     DegradationSchedule,
     LinkWindow,
+    RankEviction,
+    RankJoin,
     RankKill,
     StraggleWindow,
 )
@@ -48,6 +50,8 @@ __all__ = [
     "LinkWindow",
     "StraggleWindow",
     "RankKill",
+    "RankJoin",
+    "RankEviction",
     "DegradationSchedule",
     "DELIVER",
     "DROP",

@@ -172,6 +172,21 @@ class FaultInjector:
         deaths = self.schedule.deaths_before(t)
         return deaths[0] if deaths else None
 
+    # -- membership churn (deterministic plan state, counted when honored) -
+
+    def note_join(self, rank: int) -> None:
+        """Record a rank join the engine just honored."""
+        self._count("join")
+
+    def note_evict(self, rank: int) -> None:
+        """Record an eviction departure the engine just honored."""
+        self._count("evict")
+
+    def note_migration(self, n_tasks: int = 1) -> None:
+        """Record checkpointed task migrations (handoffs, not redos)."""
+        if n_tasks > 0:
+            self._count("migrate", n_tasks)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"FaultInjector(plan={self.plan.describe()!r}, "
                 f"seed={self.rngs.seed})")

@@ -17,6 +17,8 @@ from repro.errors import ConfigurationError
 from repro.machine.degradation import (
     DegradationSchedule,
     LinkWindow,
+    RankEviction,
+    RankJoin,
     RankKill,
     StraggleWindow,
 )
@@ -51,6 +53,16 @@ class FaultPlan:
     stragglers : per-rank busy-time dilation windows.
     kills : permanent rank deaths.
 
+    Membership churn (see :mod:`repro.machine.degradation`)
+    -------------------------------------------------------
+    joins : ranks absent from the start that join mid-run; their initial
+        work share is loaned to the initial members and migrated back when
+        they arrive.
+    evictions : announced departures.  During the grace window the rank
+        keeps working and checkpoints unfinished task ranges for handoff;
+        ``grace=0`` degenerates to a :class:`RankKill`.  Evictions are
+        inherently graceful and never require ``redistribute``.
+
     Reaction policy
     ---------------
     redistribute : on rank death, surviving ranks absorb the dead rank's
@@ -73,6 +85,8 @@ class FaultPlan:
     links: tuple[LinkWindow, ...] = ()
     stragglers: tuple[StraggleWindow, ...] = ()
     kills: tuple[RankKill, ...] = ()
+    joins: tuple[RankJoin, ...] = ()
+    evictions: tuple[RankEviction, ...] = ()
     redistribute: bool = False
     rpc_timeout: float | None = None
     rpc_max_retries: int = 4
@@ -104,10 +118,11 @@ class FaultPlan:
             raise ConfigurationError("rpc_backoff must be >= 0")
         if not 0.0 <= self.rpc_backoff_jitter < 1.0:
             raise ConfigurationError("rpc_backoff_jitter must be in [0, 1)")
-        # materialize the schedule once; also validates windows/kills
+        # materialize the schedule once; also validates windows/kills/churn
         object.__setattr__(
             self, "_schedule",
-            DegradationSchedule(self.links, self.stragglers, self.kills),
+            DegradationSchedule(self.links, self.stragglers, self.kills,
+                                self.joins, self.evictions),
         )
 
     @property
@@ -126,6 +141,16 @@ class FaultPlan:
         )
 
     @property
+    def has_churn(self) -> bool:
+        """Does this plan change cluster membership beyond plain kills?
+
+        Everything churn-specific in the engines is gated on this flag, so
+        non-churn plans take bit-identical code paths to before churn
+        existed.
+        """
+        return bool(self.joins) or bool(self.evictions)
+
+    @property
     def active(self) -> bool:
         """Does this plan inject anything at all?"""
         return bool(
@@ -133,6 +158,7 @@ class FaultPlan:
             or self.exchange_drop_prob > 0
             or self.links
             or self.stragglers
+            or self.has_churn
         )
 
     def with_redistribute(self, on: bool = True) -> "FaultPlan":
@@ -159,6 +185,11 @@ class FaultPlan:
             for w in self.stragglers
         )
         parts.extend(f"kill=r{k.rank}@{k.time:g}" for k in self.kills)
+        parts.extend(f"join=r{j.rank}@{j.time:g}" for j in self.joins)
+        parts.extend(
+            f"evict=r{e.rank}@{e.time:g}:grace={e.grace:g}"
+            for e in self.evictions
+        )
         if self.redistribute:
             parts.append("redistribute")
         return ",".join(parts) if parts else "<no faults>"

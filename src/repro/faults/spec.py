@@ -10,6 +10,12 @@ A spec is a comma-separated list of clauses::
     lag=L@T0:T1            message latency scaled by L in [T0, T1)  (L >= 1)
     straggle=F@rR:T0:T1    rank R busy time dilated by F in [T0, T1)
     kill=rR@T              rank R dies permanently at time T
+    join=rR@T              rank R is absent from the start, joins at time T
+    evict=rR@T:grace=D     rank R gets an eviction notice at T, keeps
+                           working for a grace window D (checkpointing its
+                           unfinished work for handoff), departs at T+D;
+                           ``:grace=D`` may be omitted (grace 0 == kill
+                           semantics, nothing can be checkpointed)
     redistribute           survivors absorb a dead rank's remaining work
     timeout=D              RPC retransmission timeout
     retries=N              max RPC retransmissions before RpcTimeoutError
@@ -17,27 +23,35 @@ A spec is a comma-separated list of clauses::
     jitter=F               +/- fraction of seeded jitter on each backoff
 
 Durations accept ``s``/``ms``/``us`` suffixes (default seconds); ``degrade``,
-``lag``, ``straggle`` and ``kill`` clauses may repeat.  Errors raise
-:class:`repro.errors.ConfigurationError` with the offending clause named —
-the CLI turns that into a clean exit-code-2 message, never a traceback.
+``lag``, ``straggle``, ``kill``, ``join`` and ``evict`` clauses may repeat.
+Errors raise :class:`repro.errors.ConfigurationError` echoing the offending
+clause *and its character position* in the spec — the CLI turns that into a
+clean exit-code-2 message, never a traceback.
 
 Example::
 
-    --faults "drop=0.02,delay=0.05:2ms,degrade=0.5@10:20,kill=r3@30,redistribute"
+    --faults "drop=0.02,evict=r3@20:grace=5,join=r7@10,kill=r1@30,redistribute"
 """
 
 from __future__ import annotations
 
 from repro.errors import ConfigurationError
 from repro.faults.plan import FaultPlan
-from repro.machine.degradation import LinkWindow, RankKill, StraggleWindow
+from repro.machine.degradation import (
+    LinkWindow,
+    RankEviction,
+    RankJoin,
+    RankKill,
+    StraggleWindow,
+)
 from repro.utils.units import MS, US
 
 __all__ = ["parse_fault_spec"]
 
 _KNOWN_KEYS = (
     "drop", "delay", "dup", "xchg_drop", "degrade", "lag", "straggle",
-    "kill", "redistribute", "timeout", "retries", "backoff", "jitter",
+    "kill", "join", "evict", "redistribute", "timeout", "retries",
+    "backoff", "jitter",
 )
 
 
@@ -54,7 +68,7 @@ def _seconds(text: str, clause: str) -> float:
         value = float(t)
     except ValueError:
         raise ConfigurationError(
-            f"fault spec clause {clause!r}: {text!r} is not a duration "
+            f"fault spec clause {clause}: {text!r} is not a duration "
             f"(use e.g. 0.5, 2ms, 30us)"
         ) from None
     return value * scale
@@ -65,7 +79,7 @@ def _number(text: str, clause: str) -> float:
         return float(text)
     except ValueError:
         raise ConfigurationError(
-            f"fault spec clause {clause!r}: {text!r} is not a number"
+            f"fault spec clause {clause}: {text!r} is not a number"
         ) from None
 
 
@@ -73,14 +87,14 @@ def _rank(text: str, clause: str) -> int:
     t = text.strip()
     if not t.startswith("r"):
         raise ConfigurationError(
-            f"fault spec clause {clause!r}: expected a rank like 'r3', "
+            f"fault spec clause {clause}: expected a rank like 'r3', "
             f"got {text!r}"
         )
     try:
         return int(t[1:])
     except ValueError:
         raise ConfigurationError(
-            f"fault spec clause {clause!r}: {text!r} is not a rank"
+            f"fault spec clause {clause}: {text!r} is not a rank"
         ) from None
 
 
@@ -88,9 +102,20 @@ def _split(text: str, sep: str, n: int, clause: str, what: str) -> list[str]:
     parts = text.split(sep)
     if len(parts) != n:
         raise ConfigurationError(
-            f"fault spec clause {clause!r}: expected {what}"
+            f"fault spec clause {clause}: expected {what}"
         )
     return parts
+
+
+def _rank_at_time(value: str, key: str, clause: str) -> tuple[int, str]:
+    """Parse the shared ``rR@T...`` head of kill/join/evict clauses."""
+    rank_s, _, when = value.partition("@")
+    if not when:
+        raise ConfigurationError(
+            f"fault spec clause {clause}: expected {key}=rR@T "
+            f"(e.g. {key}=r3@30)"
+        )
+    return _rank(rank_s, clause), when
 
 
 def parse_fault_spec(spec: str) -> FaultPlan:
@@ -99,6 +124,8 @@ def parse_fault_spec(spec: str) -> FaultPlan:
     links: list[LinkWindow] = []
     stragglers: list[StraggleWindow] = []
     kills: list[RankKill] = []
+    joins: list[RankJoin] = []
+    evictions: list[RankEviction] = []
 
     if not spec.strip():
         raise ConfigurationError(
@@ -107,29 +134,34 @@ def parse_fault_spec(spec: str) -> FaultPlan:
             f"{', '.join(_KNOWN_KEYS)})"
         )
 
+    offset = 0
     for raw in spec.split(","):
-        clause = raw.strip()
-        if not clause:
+        clause_text = raw.strip()
+        pos = offset + (len(raw) - len(raw.lstrip()))
+        offset += len(raw) + 1  # +1 for the consumed comma
+        if not clause_text:
             continue
-        key, _, value = clause.partition("=")
+        # every error echoes the offending token and where it sits
+        clause = f"{clause_text!r} (at char {pos})"
+        key, _, value = clause_text.partition("=")
         key = key.strip()
         value = value.strip()
         if key not in _KNOWN_KEYS:
             raise ConfigurationError(
-                f"unknown fault spec key {key!r} in clause {clause!r}; "
+                f"unknown fault spec key {key!r} in clause {clause}; "
                 f"known keys: {', '.join(_KNOWN_KEYS)}"
             )
         if key == "redistribute":
             if value:
                 raise ConfigurationError(
-                    f"fault spec clause {clause!r}: 'redistribute' takes "
+                    f"fault spec clause {clause}: 'redistribute' takes "
                     f"no value"
                 )
             kwargs["redistribute"] = True
             continue
         if not value:
             raise ConfigurationError(
-                f"fault spec clause {clause!r}: {key!r} needs a value"
+                f"fault spec clause {clause}: {key!r} needs a value"
             )
         if key == "drop":
             kwargs["drop_prob"] = _number(value, clause)
@@ -165,15 +197,27 @@ def parse_fault_spec(spec: str) -> FaultPlan:
                 )
             )
         elif key == "kill":
-            rank_s, _, when = value.partition("@")
-            if not when:
-                raise ConfigurationError(
-                    f"fault spec clause {clause!r}: expected kill=rR@T "
-                    f"(e.g. kill=r3@30)"
-                )
-            kills.append(
-                RankKill(rank=_rank(rank_s, clause),
-                         time=_seconds(when, clause))
+            rank, when = _rank_at_time(value, "kill", clause)
+            kills.append(RankKill(rank=rank, time=_seconds(when, clause)))
+        elif key == "join":
+            rank, when = _rank_at_time(value, "join", clause)
+            joins.append(RankJoin(rank=rank, time=_seconds(when, clause)))
+        elif key == "evict":
+            rank, when = _rank_at_time(value, "evict", clause)
+            when, _, grace_part = when.partition(":")
+            grace = 0.0
+            if grace_part:
+                gkey, _, gval = grace_part.partition("=")
+                if gkey.strip() != "grace" or not gval.strip():
+                    raise ConfigurationError(
+                        f"fault spec clause {clause}: expected "
+                        f"evict=rR@T:grace=D (e.g. evict=r3@20:grace=5); "
+                        f"got trailing {grace_part!r}"
+                    )
+                grace = _seconds(gval, clause)
+            evictions.append(
+                RankEviction(rank=rank, time=_seconds(when, clause),
+                             grace=grace)
             )
         elif key == "timeout":
             kwargs["rpc_timeout"] = _seconds(value, clause)
@@ -181,7 +225,7 @@ def parse_fault_spec(spec: str) -> FaultPlan:
             n = _number(value, clause)
             if n != int(n):
                 raise ConfigurationError(
-                    f"fault spec clause {clause!r}: retries must be an integer"
+                    f"fault spec clause {clause}: retries must be an integer"
                 )
             kwargs["rpc_max_retries"] = int(n)
         elif key == "backoff":
@@ -191,5 +235,6 @@ def parse_fault_spec(spec: str) -> FaultPlan:
 
     return FaultPlan(
         links=tuple(links), stragglers=tuple(stragglers), kills=tuple(kills),
+        joins=tuple(joins), evictions=tuple(evictions),
         source=spec.strip(), **kwargs,
     )

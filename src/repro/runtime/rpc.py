@@ -99,6 +99,12 @@ class RpcLayer:
         self._watchdogs_armed = bool(
             plan is not None and plan.message_faults_possible
         )
+        #: under membership churn a departed rank's partition stays
+        #: readable (the grace-window checkpoint, or a surviving delegate,
+        #: keeps serving it) — reads must not starve on the owner's death
+        self.serve_departed = bool(
+            plan is not None and getattr(plan, "has_churn", False)
+        )
         self._next_call_id = 0
         self._completed: set[int] = set()
         #: aggregate fault-path statistics (surfaced in RunResult.details)
@@ -192,8 +198,10 @@ class RpcLayer:
 
         def do_service(_arg) -> None:
             # a dead target never services the request; the caller's
-            # watchdog notices via the timeout path
-            if faults is not None and faults.dead(target, engine.now):
+            # watchdog notices via the timeout path (under churn the
+            # checkpointed partition remains readable — keep serving)
+            if (faults is not None and not self.serve_departed
+                    and faults.dead(target, engine.now)):
                 return
             # the handler observes simulated state *at service time*
             value, nbytes = self._handlers[target](token)
@@ -254,7 +262,8 @@ class RpcLayer:
                                attempt=attempt)
             if metrics is not None:
                 metrics.inc("rpc_timeouts", caller)
-            if faults is not None and faults.dead(target, engine.now):
+            if (faults is not None and not self.serve_departed
+                    and faults.dead(target, engine.now)):
                 death = faults.death_time(target)
                 raise RankFailureError(
                     f"rank {target} died at t={death:.6g}s; RPC call "

@@ -44,14 +44,18 @@ def test_matrix_and_goldens_agree():
         for workload, seed in regen.WORKLOADS
         for engine in regen.ENGINES
     }
+    expected |= {regen.churn_key(engine) for engine in regen.ENGINES}
     assert set(GOLDENS) == expected
 
 
 @pytest.mark.parametrize("key", sorted(GOLDENS))
 def test_signature_matches_golden(key):
     engine, rest = key.split("/")
-    workload, seed = rest.split("@")
-    res = regen.compute_result(engine, workload, int(seed))
+    if rest == "churn":
+        res = regen.compute_churn_result(engine)
+    else:
+        workload, seed = rest.split("@")
+        res = regen.compute_result(engine, workload, int(seed))
     assert res.signature() == GOLDENS[key], (
         f"{key}: result signature drifted from the pinned golden — "
         f"behavioral change (regenerate deliberately with "

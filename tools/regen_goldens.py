@@ -34,6 +34,7 @@ if str(REPO / "src") not in sys.path:
 from repro.core.api import get_workload, run_alignment  # noqa: E402
 from repro.engines.base import EngineConfig  # noqa: E402
 from repro.engines.registry import get_engine  # noqa: E402
+from repro.faults import parse_fault_spec  # noqa: E402
 from repro.machine.config import cori_knl  # noqa: E402
 
 GOLDENS_PATH = REPO / "tests" / "goldens" / "signatures.json"
@@ -48,9 +49,42 @@ ENGINES = ("bsp", "async", "hybrid", "bsp-micro", "async-micro")
 NODES = 2
 CORES_PER_NODE = 4  # P = 8 ranks: several ranks per node, still fast
 
+#: membership-churn cases: one per engine, the same plan everywhere — a
+#: graced eviction whose checkpoint is handed off, plus a later join that
+#: reclaims work.  Event times sit inside the micro workload's wall clock.
+CHURN_SPEC = "evict=r1@0.005:grace=0.01,join=r3@0.02"
+CHURN_FAULT_SEED = 7
+
+#: BSP engines honor churn at superstep boundaries; shrink the exchange
+#: budget so the tiny workload runs ~6 rounds and both events land on one
+CHURN_EMF = {"bsp": 1e-5, "bsp-micro": 1e-5}
+
 
 def case_key(engine: str, workload: str, seed: int) -> str:
     return f"{engine}/{workload}@{seed}"
+
+
+def churn_key(engine: str) -> str:
+    return f"{engine}/churn"
+
+
+def compute_churn_result(engine: str):
+    """One churn golden: the micro workload under the shared churn plan.
+
+    Runs the model kernel everywhere — these cases pin the churn
+    scheduling arithmetic (membership boundaries, checkpoint handoffs,
+    migration accounting); kernel output is already pinned by the base
+    matrix, and the churned async pull path computes task-by-task, which
+    would make a real-kernel run needlessly slow.
+    """
+    w = get_workload("micro", seed=11)
+    machine = cori_knl(NODES, app_cores_per_node=CORES_PER_NODE)
+    emf = CHURN_EMF.get(engine)
+    config = (EngineConfig(exchange_memory_fraction=emf)
+              if emf is not None else EngineConfig())
+    return run_alignment(w, NODES, engine, config=config, machine=machine,
+                         fault_plan=parse_fault_spec(CHURN_SPEC),
+                         fault_seed=CHURN_FAULT_SEED)
 
 
 def compute_result(engine: str, workload: str, seed: int, *,
@@ -67,12 +101,17 @@ def compute_result(engine: str, workload: str, seed: int, *,
 
 
 def compute_signatures() -> dict[str, str]:
-    return {
+    signatures = {
         case_key(engine, workload, seed):
             compute_result(engine, workload, seed).signature()
         for workload, seed in WORKLOADS
         for engine in ENGINES
     }
+    signatures.update({
+        churn_key(engine): compute_churn_result(engine).signature()
+        for engine in ENGINES
+    })
+    return signatures
 
 
 def main() -> int:
