@@ -1,0 +1,143 @@
+"""Paper-scale macro sweep under a bounded workload-memory budget.
+
+The perf trajectory finally gets a *scale* axis: this benchmark runs the
+macro engines on Table-1-sized task tables (E. coli 100x: 24.9M tasks by
+default; Human CCS: 87.6M with ``--full``) across 512 simulated nodes,
+generated and aggregated through the sharded out-of-core workload path
+(:class:`repro.pipeline.sharded.ShardedWorkload`) so peak resident
+workload memory is bounded by ``--max-resident-shards`` — measured by the
+shard store's :class:`~repro.machine.memory.NodeMemory` ledger and
+cross-checked against the process's actual peak RSS (``ru_maxrss``).
+
+Writes ``BENCH_SCALE.json`` at the repo root::
+
+    {
+      "workload": ..., "tasks": ..., "shard_tasks": ...,
+      "max_resident_shards": ...,
+      "resident_budget_bytes": ...,   # the ledger capacity
+      "resident_peak_bytes": ...,     # ledger high-water (must be <= budget)
+      "peak_rss_mb": ...,             # process peak RSS after the sweep
+      "build_seconds": ...,           # streamed aggregation wall clock
+      "engines": {name: {nodes: simulated_wall_seconds}}
+    }
+
+``--mem-cap-mb`` applies a hard ``resource.setrlimit(RLIMIT_AS)`` before
+the workload is built — the CI scale-smoke job uses it to prove the
+10^6-task sweep genuinely fits a small address-space cap rather than
+merely claiming to.  Also runnable standalone:
+
+    PYTHONPATH=src python benchmarks/bench_scale_sweep.py [--smoke]
+        [--full] [--nodes N] [--shard-tasks N] [--max-resident-shards M]
+        [--mem-cap-mb MB]
+"""
+
+import argparse
+import json
+import resource
+import sys
+import time
+from pathlib import Path
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_SCALE.json"
+
+#: scale tiers: preset and the node counts swept (strong scaling flavor)
+SMOKE = ("ecoli30x", (64, 512))        # ~2.3e6 tasks: the CI tier
+DEFAULT = ("ecoli100x", (64, 512))     # ~2.5e7 tasks: the 10^7 tier
+FULL = ("human_ccs", (512,))           # ~8.8e7 tasks: the 10^8 tier
+
+ENGINES = ("bsp", "async", "hybrid")
+
+
+def peak_rss_mb() -> float:
+    """Process peak RSS in MiB (ru_maxrss is KiB on Linux)."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - bytes on macOS
+        rss //= 1024
+    return rss / 1024.0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help=f"10^6-task tier ({SMOKE[0]}; the CI job)")
+    ap.add_argument("--full", action="store_true",
+                    help=f"10^8-task tier ({FULL[0]}; takes a while)")
+    ap.add_argument("--nodes", type=int, nargs="+", default=None,
+                    help="override the swept node counts")
+    ap.add_argument("--shard-tasks", type=int, default=1 << 18)
+    ap.add_argument("--max-resident-shards", type=int, default=4)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--mem-cap-mb", type=int, default=0,
+                    help="hard RLIMIT_AS cap applied before building "
+                         "anything (0 = uncapped)")
+    args = ap.parse_args(argv)
+
+    if args.mem_cap_mb:
+        cap = args.mem_cap_mb * 1024 * 1024
+        resource.setrlimit(resource.RLIMIT_AS, (cap, cap))
+        print(f"address space capped at {args.mem_cap_mb} MiB (RLIMIT_AS)")
+
+    from repro.core.api import get_workload, scaling_sweep
+
+    name, node_counts = (SMOKE if args.smoke else
+                         FULL if args.full else DEFAULT)
+    if args.nodes:
+        node_counts = tuple(args.nodes)
+
+    t0 = time.perf_counter()
+    wl = get_workload(name, seed=args.seed,
+                      shard_tasks=args.shard_tasks,
+                      max_resident_shards=args.max_resident_shards)
+    results = scaling_sweep(wl, node_counts, approaches=ENGINES)
+    build_s = time.perf_counter() - t0
+
+    store = wl.store.stats()
+    rss = peak_rss_mb()
+    report = {
+        "workload": name,
+        "tasks": wl.n_tasks,
+        "reads": wl.n_reads,
+        "nodes": list(node_counts),
+        "shard_tasks": args.shard_tasks,
+        "max_resident_shards": args.max_resident_shards,
+        "n_shards": store["n_shards"],
+        "resident_budget_bytes": store["budget_bytes"],
+        "resident_peak_bytes": store["peak_resident_bytes"],
+        "shard_evictions": store["evictions"],
+        "shard_reloads": store["reloads"],
+        "peak_rss_mb": rss,
+        "mem_cap_mb": args.mem_cap_mb or None,
+        "build_seconds": build_s,
+        "engines": {
+            eng: {str(n): results[eng][n].wall_time for n in node_counts}
+            for eng in ENGINES
+        },
+    }
+    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"{name}: {wl.n_tasks:,} tasks in {store['n_shards']} shards of "
+          f"{args.shard_tasks:,} (<= {args.max_resident_shards} resident)")
+    print(f"resident workload memory: peak "
+          f"{store['peak_resident_bytes'] / 2**20:.1f} MiB of "
+          f"{store['budget_bytes'] / 2**20:.1f} MiB budget "
+          f"({store['evictions']} evictions, {store['reloads']} reloads)")
+    print(f"process peak RSS: {rss:.0f} MiB"
+          + (f" (cap {args.mem_cap_mb} MiB)" if args.mem_cap_mb else ""))
+    for eng in ENGINES:
+        walls = "  ".join(f"{n}n={results[eng][n].wall_time:.3g}s"
+                          for n in node_counts)
+        print(f"  {eng:6s} {walls}")
+    print(f"aggregation+sweep wall: {build_s:.1f}s -> {JSON_PATH}")
+
+    # the acceptance assertions the CI job greps for
+    ok = store["peak_resident_bytes"] <= store["budget_bytes"]
+    print(f"resident peak within budget: {'PASS' if ok else 'FAIL'}")
+    if args.mem_cap_mb:
+        capped = rss < args.mem_cap_mb
+        print(f"peak RSS below cap: {'PASS' if capped else 'FAIL'}")
+        ok = ok and capped
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,6 +62,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workload", default="ecoli100x",
                        choices=sorted(DATASETS))
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--shard-tasks", type=int, default=0, metavar="N",
+                       help="generate/aggregate the task table in N-task "
+                            "shards instead of one array (out-of-core "
+                            "paper-scale mode; 0 = materialized). Pure "
+                            "memory knob: results are bit-identical for "
+                            "any value")
+        p.add_argument("--max-resident-shards", type=int, default=4,
+                       metavar="M",
+                       help="with --shard-tasks: at most M shards resident "
+                            "in memory; the rest spill to disk (or shared "
+                            "memory via REPRO_SHARD_SPILL_DIR=/dev/shm)")
         p.add_argument("--cores-per-node", type=int, default=64)
         p.add_argument("--comm-only", action="store_true",
                        help="skip alignment computation (paper 4.3 mode)")
@@ -339,9 +350,18 @@ def main(argv: list[str] | None = None) -> int:
                            rows))
         return 0
 
-    workload = get_workload(args.workload, seed=args.seed)
+    try:
+        workload = get_workload(args.workload, seed=args.seed,
+                                shard_tasks=args.shard_tasks,
+                                max_resident_shards=args.max_resident_shards)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    sharded = (f" ({args.shard_tasks:,}-task shards, "
+               f"<= {args.max_resident_shards} resident)"
+               if args.shard_tasks else "")
     print(f"{args.workload}: {workload.n_reads:,} reads, "
-          f"{workload.n_tasks:,} tasks")
+          f"{workload.n_tasks:,} tasks{sharded}")
 
     if args.command == "run":
         tracer, metrics = _observability(args)

@@ -32,9 +32,11 @@ from repro.engines.base import EngineConfig
 from repro.engines.registry import available_engines, get_engine
 from repro.engines.report import RunResult
 from repro.errors import ConfigurationError
+from repro.align.cost import MEAN_TASK_COST
 from repro.genome.datasets import DATASETS, synthesize_dataset
 from repro.machine.config import MachineSpec, cori_knl
 from repro.obs import MetricsRegistry, Tracer
+from repro.pipeline.sharded import DEFAULT_RESIDENT_SHARDS, ShardedWorkload
 from repro.pipeline.workload import ConcreteWorkload, StatisticalWorkload
 from repro.utils.cache import LruCache
 
@@ -103,24 +105,75 @@ def workload_cache_stats() -> dict:
     return _WORKLOAD_CACHE.stats()
 
 
-def get_workload(name: str, seed: int = 0):
+def _calibration_key(spec) -> tuple:
+    """The full task-cost calibration identity of a spec.
+
+    Workload construction calibrates the cost mixture to the paper anchor
+    in :data:`MEAN_TASK_COST` (falling back to a read-length
+    extrapolation), so two specs that differ *only* in their calibration
+    target must not share a cache entry.  Keying on ``(name, seed)`` alone
+    let them collide — e.g. after registering a variant dataset or
+    adjusting an anchor, the cache would happily serve a workload built
+    against the old target.
+    """
+    return (
+        MEAN_TASK_COST.get(spec.name),
+        spec.mean_read_length,
+        spec.length_sigma,
+        spec.n_reads,
+        spec.n_tasks,
+    )
+
+
+def get_workload(
+    name: str,
+    seed: int = 0,
+    shard_tasks: int = 0,
+    max_resident_shards: int = DEFAULT_RESIDENT_SHARDS,
+):
     """Build (or fetch from the LRU cache) a named workload.
 
     Table-1 presets (``ecoli30x``, ``ecoli100x``, ``human_ccs``) become
     :class:`StatisticalWorkload`; sequence-level presets (``*_tiny``,
     ``*_small``) run the real pipeline end-to-end into a
     :class:`ConcreteWorkload`.
+
+    ``shard_tasks > 0`` selects the out-of-core path instead: the task
+    table is generated and aggregated in fixed-size shards with at most
+    ``max_resident_shards`` resident (see
+    :class:`repro.pipeline.sharded.ShardedWorkload`).  Sequence-level
+    presets shard their concrete task table (sharing the materialized
+    workload's cache entry and staying bit-identical to it); Table-1
+    presets generate paper-scale task *rows* shard-by-shard, which is how
+    the 10^7–10^8-task sweeps run in bounded memory.
     """
-    key = (name, seed)
-    cached = _WORKLOAD_CACHE.get(key)
-    if cached is not None:
-        return cached
     spec = DATASETS.get(name)
     if spec is None:
         raise ConfigurationError(
             f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
         )
-    if spec.sequence_level:
+    # cache identity: spec + seed + full calibration tuple + sharding —
+    # the calibration terms keep renamed/retargeted specs from colliding,
+    # the shard terms keep each (spec, shard) rendering distinct
+    key = (name, seed, _calibration_key(spec),
+           int(shard_tasks), int(max_resident_shards) if shard_tasks else 0)
+    cached = _WORKLOAD_CACHE.get(key)
+    if cached is not None:
+        return cached
+    if shard_tasks:
+        if spec.sequence_level:
+            wl = ShardedWorkload.from_workload(
+                get_workload(name, seed),
+                shard_tasks=shard_tasks,
+                max_resident_shards=max_resident_shards,
+            )
+        else:
+            wl = ShardedWorkload.synthetic(
+                spec, seed=seed,
+                shard_tasks=shard_tasks,
+                max_resident_shards=max_resident_shards,
+            )
+    elif spec.sequence_level:
         run = synthesize_dataset(spec, seed=seed)
         wl = ConcreteWorkload.from_pipeline(
             name, run.reads, k=13, bounds=(2, 80), seed=seed
@@ -180,10 +233,14 @@ def run_alignment(
     engine = info.factory(config=config or EngineConfig())
     faults = _make_faults(fault_plan, fault_seed)
     if info.kind == _registry.MICRO:
-        if not isinstance(workload, ConcreteWorkload):
+        concrete = isinstance(workload, ConcreteWorkload) or (
+            isinstance(workload, ShardedWorkload) and workload.is_concrete
+        )
+        if not concrete:
             raise ConfigurationError(
                 f"approach {approach!r} is a message-level engine and needs "
-                f"a ConcreteWorkload (sequence-level dataset), not "
+                f"a ConcreteWorkload (sequence-level dataset) or a sharded "
+                f"workload with a concrete backing, not "
                 f"{type(workload).__name__}"
             )
         return engine.run(workload, machine, kernel=kernel, tracer=tracer,

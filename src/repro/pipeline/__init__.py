@@ -8,9 +8,12 @@ inputs in two interchangeable forms:
   sequence-level pipeline (tests, examples, micro-scale validation);
 * :class:`StatisticalWorkload` — Table-1-exact totals with calibrated
   distributions, generated deterministically from a seed (figure benches up
-  to 32,768 simulated cores).
+  to 32,768 simulated cores);
+* :class:`ShardedWorkload` — either of the above, generated and aggregated
+  in fixed-size shards under a bounded resident-shard budget, so
+  paper-scale task tables (10^7–10^8 rows) never exist in memory at once.
 
-Both render, for any machine size P, a :class:`WorkloadAssignment`: the
+All render, for any machine size P, a :class:`WorkloadAssignment`: the
 per-rank arrays (task counts, compute seconds, exchange volumes, lookup
 counts, partition bytes) the BSP and Async engines consume.
 """
@@ -20,6 +23,7 @@ from repro.pipeline.partition import (
     assign_tasks_balanced,
     check_ownership_invariant,
 )
+from repro.pipeline.sharded import ShardedWorkload, ShardStore
 from repro.pipeline.tasks import TaskTable
 from repro.pipeline.workload import (
     WorkloadAssignment,
@@ -35,4 +39,6 @@ __all__ = [
     "WorkloadAssignment",
     "ConcreteWorkload",
     "StatisticalWorkload",
+    "ShardedWorkload",
+    "ShardStore",
 ]

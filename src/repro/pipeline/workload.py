@@ -453,6 +453,12 @@ class StatisticalWorkload:
             self.rngs.stream("workload-block", 0xC0DE),
         )
         self.assignment_cache: LruCache = LruCache(ASSIGNMENT_CACHE_CAP)
+        # stage-1 partition memo: boundaries and byte shares depend only on
+        # (read_lengths, P), and the byte prefix not even on P — recomputing
+        # both on every assignment-cache miss was pure waste (hit counters
+        # observable via partition_cache.stats())
+        self.partition_cache: LruCache = LruCache(ASSIGNMENT_CACHE_CAP)
+        self._prefix: np.ndarray | None = None
 
     # -- reads ---------------------------------------------------------------
 
@@ -484,6 +490,23 @@ class StatisticalWorkload:
 
     # -- per-P rendering -------------------------------------------------------
 
+    def _partition(self, num_ranks: int):
+        """Memoized stage-1 shares: (boundaries, reads/rank, bytes/rank)."""
+
+        def build():
+            boundaries = partition_reads_by_size(self.read_lengths, num_ranks)
+            if self._prefix is None:
+                self._prefix = np.concatenate(
+                    [[0], np.cumsum(self.read_lengths)]
+                )
+            return (
+                boundaries,
+                np.diff(boundaries).astype(np.float64),
+                np.diff(self._prefix[boundaries]).astype(np.float64),
+            )
+
+        return self.partition_cache.get_or_create(num_ranks, build)
+
     def assignment(self, num_ranks: int) -> WorkloadAssignment:
         """Render the per-rank arrays for ``num_ranks`` ranks (LRU-cached)."""
         cached = self.assignment_cache.get(num_ranks)
@@ -493,11 +516,8 @@ class StatisticalWorkload:
         n_reads = self.n_reads
         n_tasks = self.n_tasks
         lengths = self.read_lengths
-        boundaries = partition_reads_by_size(lengths, num_ranks)
-
-        reads_per_rank = np.diff(boundaries).astype(np.float64)
-        prefix = np.concatenate([[0], np.cumsum(lengths)])
-        partition_bytes = np.diff(prefix[boundaries]).astype(np.float64)
+        boundaries, reads_per_rank, partition_bytes = \
+            self._partition(num_ranks)
 
         base, extra = divmod(n_tasks, num_ranks)
         tasks_per_rank = np.full(num_ranks, base, dtype=np.float64)

@@ -70,6 +70,7 @@ __all__ = [
     "ProcessExecutor",
     "AutoExecutor",
     "SharedReadStore",
+    "SharedShardStore",
     "make_task_executor",
     "active_shm_segments",
 ]
@@ -221,28 +222,12 @@ class SerialExecutor(TaskExecutor):
 # -- process backend ---------------------------------------------------------
 
 
-class SharedReadStore:
-    """The workload's read bytes + task columns, in POSIX shared memory.
+class _ShmArrayPublisher:
+    """Base: publish named numpy arrays as POSIX shared-memory segments."""
 
-    Wraps the *existing* numpy arrays — the ``ReadSet``'s flat uint8 code
-    buffer and int64 CSR offsets, plus the five flat ``TaskTable`` columns
-    — one segment each, copied once at pool start.  Workers attach by name
-    and reconstruct zero-copy ndarray views, so per-batch traffic is task
-    indices in, rows written straight into the shared output array out.
-    """
-
-    def __init__(self, workload):
+    def _publish(self, k: int, arrays: dict) -> None:
         self._segments: list[shared_memory.SharedMemory] = []
-        self.spec: dict = {"k": int(workload.tasks.k), "arrays": {}}
-        arrays = {
-            "buffer": workload.reads.buffer,
-            "offsets": workload.reads.offsets,
-            "read_a": workload.tasks.read_a,
-            "read_b": workload.tasks.read_b,
-            "pos_a": workload.tasks.pos_a,
-            "pos_b": workload.tasks.pos_b,
-            "reverse": workload.tasks.reverse,
-        }
+        self.spec: dict = {"k": int(k), "arrays": {}}
         try:
             for name, arr in arrays.items():
                 arr = np.ascontiguousarray(arr)
@@ -272,6 +257,69 @@ class SharedReadStore:
             _ACTIVE_SEGMENTS.discard(shm.name)
         self._segments = []
         self._closed = True
+
+
+class SharedReadStore(_ShmArrayPublisher):
+    """The workload's read bytes + task columns, in POSIX shared memory.
+
+    Wraps the *existing* numpy arrays — the ``ReadSet``'s flat uint8 code
+    buffer and int64 CSR offsets, plus the five flat ``TaskTable`` columns
+    — one segment each, copied once at pool start.  Workers attach by name
+    and reconstruct zero-copy ndarray views, so per-batch traffic is task
+    indices in, rows written straight into the shared output array out.
+    """
+
+    def __init__(self, workload):
+        self._publish(workload.tasks.k, {
+            "buffer": workload.reads.buffer,
+            "offsets": workload.reads.offsets,
+            "read_a": workload.tasks.read_a,
+            "read_b": workload.tasks.read_b,
+            "pos_a": workload.tasks.pos_a,
+            "pos_b": workload.tasks.pos_b,
+            "reverse": workload.tasks.reverse,
+        })
+
+
+class SharedShardStore(_ShmArrayPublisher):
+    """One batch's reads + task rows, compacted into shared memory.
+
+    The out-of-core variant of :class:`SharedReadStore` for sharded
+    workloads: instead of seeding the pool once with the *whole* read set,
+    each batch publishes only the reads its tasks touch — gathered into a
+    compact code buffer with local CSR offsets — plus the batch's task
+    columns with read ids **remapped to local ids**.  The remap is
+    invisible in the results: read ids only select code slices inside the
+    worker (the result rows carry no ids; the parent rehydrates from its
+    own global columns), so resident shared memory scales with the batch,
+    never with the workload.
+    """
+
+    def __init__(self, workload, idx: np.ndarray):
+        tasks = workload.tasks
+        reads = workload.reads
+        read_a = tasks.read_a[idx]
+        read_b = tasks.read_b[idx]
+        uniq, inverse = np.unique(
+            np.concatenate([read_a, read_b]), return_inverse=True
+        )
+        g_off = reads.offsets
+        lengths = g_off[uniq + 1] - g_off[uniq]
+        offsets = np.concatenate([[0], np.cumsum(lengths)]).astype(np.int64)
+        buffer = np.empty(int(offsets[-1]), dtype=np.uint8)
+        for j in range(uniq.size):
+            r = uniq[j]
+            buffer[offsets[j]: offsets[j + 1]] = \
+                reads.buffer[g_off[r]: g_off[r + 1]]
+        self._publish(tasks.k, {
+            "buffer": buffer,
+            "offsets": offsets,
+            "read_a": inverse[: idx.size].astype(np.int64),
+            "read_b": inverse[idx.size:].astype(np.int64),
+            "pos_a": tasks.pos_a[idx],
+            "pos_b": tasks.pos_b[idx],
+            "reverse": tasks.reverse[idx],
+        })
 
 
 class _SharedOutput:
@@ -353,32 +401,72 @@ def _disown_tracker_claim(shm: shared_memory.SharedMemory) -> None:
 
 
 class _WorkerState:
-    """Per-worker-process view of the shared store + a private aligner."""
+    """Per-worker-process view of the shared store + a private aligner.
 
-    def __init__(self, spec: dict, x_drop: int, scoring,
+    ``spec=None`` is the per-batch (sharded) mode: no pool-lifetime read
+    store exists; each chunk call carries its batch's
+    :class:`SharedShardStore` spec instead, and the worker caches exactly
+    one batch attachment at a time (keyed by the buffer segment name — a
+    new batch means new segments, so a name change is the refresh signal).
+    """
+
+    def __init__(self, spec: dict | None, x_drop: int, scoring,
                  disown_tracker: bool = False):
-        self._shms: list[shared_memory.SharedMemory] = []
         self._disown = disown_tracker
         self._out_shm: shared_memory.SharedMemory | None = None
         self._out_name: str | None = None
         self._out_view: np.ndarray | None = None
+        self._batch_name: str | None = None
+        self._batch_shms: list[shared_memory.SharedMemory] = []
+        self.buffer: np.ndarray | None = None
+        self.offsets: np.ndarray | None = None
+        self.tasks: _TaskColumns | None = None
+        if spec is not None:
+            self._shms, arrays = self._attach(spec)
+            self.buffer = arrays["buffer"]
+            self.offsets = arrays["offsets"]
+            self.tasks = _TaskColumns(
+                read_a=arrays["read_a"], read_b=arrays["read_b"],
+                pos_a=arrays["pos_a"], pos_b=arrays["pos_b"],
+                reverse=arrays["reverse"], k=spec["k"],
+            )
+        self.aligner = SeedExtendAligner(x_drop=x_drop, scoring=scoring)
+
+    def _attach(self, spec: dict):
+        shms: list[shared_memory.SharedMemory] = []
         arrays: dict[str, np.ndarray] = {}
         for name, (shm_name, shape, dtype) in spec["arrays"].items():
             shm = shared_memory.SharedMemory(name=shm_name)
-            if disown_tracker:
+            if self._disown:
                 _disown_tracker_claim(shm)
-            self._shms.append(shm)
+            shms.append(shm)
             arrays[name] = np.ndarray(
                 shape, dtype=np.dtype(dtype), buffer=shm.buf
             )
-        self.buffer = arrays["buffer"]
-        self.offsets = arrays["offsets"]
-        self.tasks = _TaskColumns(
-            read_a=arrays["read_a"], read_b=arrays["read_b"],
-            pos_a=arrays["pos_a"], pos_b=arrays["pos_b"],
-            reverse=arrays["reverse"], k=spec["k"],
-        )
-        self.aligner = SeedExtendAligner(x_drop=x_drop, scoring=scoring)
+        return shms, arrays
+
+    def batch(self, spec: dict):
+        """(codes, tasks) view of one batch store; cached until replaced."""
+        name = spec["arrays"]["buffer"][0]
+        if name != self._batch_name:
+            for shm in self._batch_shms:
+                shm.close()
+            self._batch_shms, arrays = self._attach(spec)
+            self._batch_name = name
+            self._batch_buffer = arrays["buffer"]
+            self._batch_offsets = arrays["offsets"]
+            self._batch_tasks = _TaskColumns(
+                read_a=arrays["read_a"], read_b=arrays["read_b"],
+                pos_a=arrays["pos_a"], pos_b=arrays["pos_b"],
+                reverse=arrays["reverse"], k=spec["k"],
+            )
+
+        def codes(read_id: int) -> np.ndarray:
+            return self._batch_buffer[
+                self._batch_offsets[read_id]: self._batch_offsets[read_id + 1]
+            ]
+
+        return codes, self._batch_tasks
 
     def codes(self, read_id: int) -> np.ndarray:
         return self.buffer[self.offsets[read_id]: self.offsets[read_id + 1]]
@@ -417,25 +505,34 @@ class _TaskColumns:
 _WORKER_STATE: _WorkerState | None = None
 
 
-def _worker_init(spec: dict, x_drop: int, scoring,
+def _worker_init(spec: dict | None, x_drop: int, scoring,
                  disown_tracker: bool = False) -> None:
     global _WORKER_STATE
     _WORKER_STATE = _WorkerState(spec, x_drop, scoring, disown_tracker)
 
 
 def _align_chunk(indices: np.ndarray, offset: int, out_name: str,
-                 out_capacity: int) -> tuple[int, float, int]:
+                 out_capacity: int,
+                 batch_spec: dict | None = None) -> tuple[int, float, int]:
     """Worker entry: align one chunk, write rows into the shared output.
 
     Results land directly in the parent's preallocated output array at
     ``[offset, offset + len(indices))`` — score, begin_a, end_a, begin_b,
     end_b, cells, terminated_early per row — so the only thing pickled
     back is this ``(pid, seconds, count)`` triple.
+
+    ``batch_spec`` selects the per-batch mode: ``indices`` are then
+    positions *within* the batch's :class:`SharedShardStore` (whose task
+    columns are already batch-sliced) rather than global task indices.
     """
     st = _WORKER_STATE
+    if batch_spec is not None:
+        codes, tasks = st.batch(batch_spec)
+    else:
+        codes, tasks = st.codes, st.tasks
     t0 = time.perf_counter()
     alignments = st.aligner.align_batch(
-        _task_pairs(st.codes, st.tasks, indices)
+        _task_pairs(codes, tasks, indices)
     )
     out = st.output(out_name, out_capacity)
     out[offset: offset + len(alignments)] = _pack_rows(alignments)
@@ -468,7 +565,18 @@ class ProcessExecutor(TaskExecutor):
             "dispatch_s": 0.0, "wait_s": 0.0, "merge_s": 0.0,
         }
         self._per_worker: dict[int, dict] = {}
-        self._store = SharedReadStore(workload)
+        # sharded workloads get the per-batch store: the pool is seeded
+        # with *no* read data at all, and each batch ships only the reads
+        # it touches (SharedShardStore) — shared-memory residency tracks
+        # the batch size instead of the workload size
+        self._per_batch = bool(getattr(workload, "shard_tasks", 0))
+        if self._per_batch:
+            self._store = None
+            self._stats["batch_stores"] = 0
+            spec = None
+        else:
+            self._store = SharedReadStore(workload)
+            spec = self._store.spec
         self._out = _SharedOutput()
         try:
             ctx = _pool_context()
@@ -476,11 +584,12 @@ class ProcessExecutor(TaskExecutor):
                 max_workers=workers,
                 mp_context=ctx,
                 initializer=_worker_init,
-                initargs=(self._store.spec, aligner.x_drop, aligner.scoring,
+                initargs=(spec, aligner.x_drop, aligner.scoring,
                           ctx.get_start_method() != "fork"),
             )
         except BaseException:
-            self._store.close()
+            if self._store is not None:
+                self._store.close()
             self._out.close()
             raise
         self._closed = False
@@ -512,29 +621,48 @@ class ProcessExecutor(TaskExecutor):
         self._out.ensure(n)
         chunk = self._chunk_size(n)
         starts = range(0, n, chunk)
+        batch_store: SharedShardStore | None = None
+        batch_spec = None
+        if self._per_batch:
+            # per-batch mode: publish this batch's compact store and hand
+            # workers batch-local positions; closed in the finally below
+            # only after every future settled (success or cancel+wait), so
+            # no straggler can touch an unlinked segment
+            batch_store = SharedShardStore(self.workload, idx)
+            batch_spec = batch_store.spec
+            self._stats["batch_stores"] += 1
         t0 = time.perf_counter()
         try:
-            futures = [
-                self._pool.submit(_align_chunk, idx[s: s + chunk], s,
-                                  self._out.name, self._out.capacity)
-                for s in starts
-            ]
-        except BrokenProcessPool as exc:
-            self._stats["failed_batches"] += 1
-            raise self._crash(n, exc) from exc
-        t1 = time.perf_counter()
-        results: list[tuple[int, float, int]] = []
-        try:
-            for fut in futures:
-                results.append(fut.result())
-        except BaseException as exc:
-            for fut in futures:
-                fut.cancel()
-            futures_wait(futures)
-            self._stats["failed_batches"] += 1
-            if isinstance(exc, BrokenProcessPool):
+            try:
+                futures = [
+                    self._pool.submit(
+                        _align_chunk,
+                        (idx[s: s + chunk] if batch_spec is None
+                         else np.arange(s, min(s + chunk, n),
+                                        dtype=np.int64)),
+                        s, self._out.name, self._out.capacity, batch_spec,
+                    )
+                    for s in starts
+                ]
+            except BrokenProcessPool as exc:
+                self._stats["failed_batches"] += 1
                 raise self._crash(n, exc) from exc
-            raise
+            t1 = time.perf_counter()
+            results: list[tuple[int, float, int]] = []
+            try:
+                for fut in futures:
+                    results.append(fut.result())
+            except BaseException as exc:
+                for fut in futures:
+                    fut.cancel()
+                futures_wait(futures)
+                self._stats["failed_batches"] += 1
+                if isinstance(exc, BrokenProcessPool):
+                    raise self._crash(n, exc) from exc
+                raise
+        finally:
+            if batch_store is not None:
+                batch_store.close()
         t2 = time.perf_counter()
         for pid, align_s, _count in results:
             w = self._per_worker.setdefault(
@@ -592,7 +720,8 @@ class ProcessExecutor(TaskExecutor):
             return
         self._closed = True
         self._pool.shutdown(wait=True)
-        self._store.close()
+        if self._store is not None:
+            self._store.close()
         self._out.close()
 
 

@@ -429,3 +429,60 @@ def test_engine_results_identical_across_backends(workload):
     for a, b in zip(base.alignments, par.alignments):
         assert _fields(a) == _fields(b)
     assert active_shm_segments() == baseline
+
+
+# -- per-shard shared stores (sharded workloads; docs/PARALLEL.md) -----------
+
+
+def test_per_batch_store_matches_serial(workload, serial):
+    """Sharded workloads flip the pool into per-batch SharedShardStore
+    mode: compact per-batch read stores with remapped local ids must be
+    invisible in the results."""
+    from repro.pipeline.sharded import ShardedWorkload
+
+    baseline = active_shm_segments()
+    sw = ShardedWorkload.from_workload(workload, shard_tasks=97,
+                                       max_resident_shards=2)
+    rng = np.random.default_rng(4)
+    idx = rng.choice(workload.n_tasks, size=N_TASK_CAP, replace=False)
+    try:
+        with ProcessExecutor(sw, SeedExtendAligner(), workers=2,
+                             chunk_tasks=13) as ex:
+            assert ex._per_batch and ex._store is None
+            got = ex.align_tasks(idx)
+            want = serial.align_tasks(idx)
+            assert len(got) == len(want)
+            for a, b in zip(got, want):
+                assert _fields(a) == _fields(b)
+            rows = ex.align_tasks_rows(idx)
+            assert np.array_equal(rows, _pack(want))
+            stats = ex.stats()
+            assert stats["batch_stores"] == 2  # one per batch dispatched
+    finally:
+        sw.close()
+    assert active_shm_segments() == baseline
+
+
+def test_shared_shard_store_compacts_reads(workload):
+    """The per-batch store publishes only the batch's reads."""
+    from repro.runtime.executor import SharedShardStore
+
+    idx = np.array([0, 1, 2], dtype=np.int64)
+    store = SharedShardStore(workload, idx)
+    try:
+        arrays = store.spec["arrays"]
+        touched = np.unique(np.concatenate([
+            workload.tasks.read_a[idx], workload.tasks.read_b[idx]]))
+        assert arrays["offsets"][1][0] == touched.size + 1
+        # local ids index the compact buffer, not the global read set
+        _, shape, _ = arrays["read_a"]
+        assert shape[0] == idx.size
+    finally:
+        store.close()
+    assert store.spec["arrays"]["buffer"][0] not in active_shm_segments()
+
+
+def _pack(alignments):
+    from repro.runtime.executor import _pack_rows
+
+    return _pack_rows(alignments)

@@ -75,3 +75,30 @@ def test_parallel_backends_hit_serial_golden(engine, backend):
     res = regen.compute_result(engine, "micro", 11,
                                backend=backend, workers=2, chunk_tasks=7)
     assert res.signature() == GOLDENS[key]
+
+
+@pytest.mark.parametrize("engine", regen.ENGINES)
+def test_sharded_path_hits_materialized_golden(engine):
+    """The out-of-core workload path must reproduce the pinned digests.
+
+    Sharding (generation, streamed aggregation, spill/reload, per-shard
+    micro dispatch) is a pure memory knob: the same engine on the same
+    preset through ``shard_tasks > 0`` cannot move a single bit of the
+    result.  A shard size well below n_tasks forces multiple shards,
+    evictions, and spill reloads on every existing golden workload.
+    """
+    key = regen.case_key(engine, "micro", 11)
+    res = regen.compute_result(engine, "micro", 11, shard_tasks=97)
+    assert res.signature() == GOLDENS[key], (
+        f"{engine}: sharded-path signature diverged from the materialized "
+        f"golden — sharding changed behavior"
+    )
+
+
+@pytest.mark.parametrize("engine", ["bsp-micro"])
+def test_sharded_process_backend_hits_golden(engine):
+    """Per-shard shared stores (SharedShardStore) keep the serial digest."""
+    key = regen.case_key(engine, "micro", 11)
+    res = regen.compute_result(engine, "micro", 11, shard_tasks=97,
+                               backend="process", workers=2, chunk_tasks=7)
+    assert res.signature() == GOLDENS[key]
