@@ -5,12 +5,16 @@ Commands
 ``run``      simulate one engine on a workload and print the breakdown
 ``compare``  run the macro engines on identical inputs (the paper's method)
 ``sweep``    strong-scaling sweep over node counts
+``plan``     rank engine × knob candidates by predicted wall (no runs)
 ``datasets`` list the available workload presets
 ``engines``  list the registered engines
 
 The ``--approach`` choices (``--engine`` is an alias) come straight from
 the engine registry — registering a new engine makes it runnable here with
-no CLI edits (docs/ARCHITECTURE.md).
+no CLI edits (docs/ARCHITECTURE.md).  ``--engine auto`` consults the
+cost-model planner and runs only the predicted winner (docs/PLANNER.md);
+``compare``/``sweep`` accept ``--parallel [N]`` to fan independent grid
+points over a process pool, bit-identical to the serial path.
 
 Examples
 --------
@@ -18,9 +22,10 @@ Examples
 
     python -m repro datasets
     python -m repro run --workload ecoli100x --nodes 16 --approach async
-    python -m repro run --workload ecoli100x --nodes 16 --approach hybrid
+    python -m repro run --workload ecoli100x --nodes 16 --engine auto
+    python -m repro plan --workload ecoli100x --nodes 16
     python -m repro compare --workload human_ccs --nodes 8
-    python -m repro sweep --workload ecoli100x --nodes 1 4 16 64
+    python -m repro sweep --workload ecoli100x --nodes 1 4 16 64 --parallel
 """
 
 from __future__ import annotations
@@ -95,8 +100,11 @@ def build_parser() -> argparse.ArgumentParser:
     fault_args(p_run)
     p_run.add_argument("--nodes", type=int, default=4)
     p_run.add_argument("--approach", "--engine", dest="approach",
-                       default="bsp", choices=list(available_engines()),
-                       help="registered engine to run (--engine is an alias)")
+                       default="bsp",
+                       choices=list(available_engines()) + ["auto"],
+                       help="registered engine to run (--engine is an "
+                            "alias); 'auto' runs the planner's top "
+                            "prediction (docs/PLANNER.md)")
     p_run.add_argument("--kernel", choices=("model", "real"), default="model",
                        help="micro engines only: 'real' runs the X-drop "
                             "alignment kernel; 'model' charges modeled costs")
@@ -111,17 +119,41 @@ def build_parser() -> argparse.ArgumentParser:
                        help="tasks per dispatched chunk for --backend "
                             "process (0 = split batches evenly)")
 
+    def parallel_arg(p):
+        p.add_argument("--parallel", nargs="?", const=True, default=False,
+                       type=int, metavar="N",
+                       help="fan independent grid points over a process "
+                            "pool (N workers; bare flag = one per core); "
+                            "bit-identical to the serial path, but "
+                            "--trace/--metrics cannot attach")
+
     p_cmp = sub.add_parser("compare",
                            help="run the macro engines side by side")
     common(p_cmp)
     fault_args(p_cmp)
     p_cmp.add_argument("--nodes", type=int, default=4)
+    parallel_arg(p_cmp)
 
     p_sweep = sub.add_parser("sweep", help="strong-scaling sweep")
     common(p_sweep)
     fault_args(p_sweep)
     p_sweep.add_argument("--nodes", type=int, nargs="+",
                          default=[1, 4, 16, 64])
+    parallel_arg(p_sweep)
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="rank engine x knob candidates by predicted wall clock "
+             "without running anything (docs/PLANNER.md)",
+    )
+    common(p_plan)
+    p_plan.add_argument("--nodes", type=int, default=4)
+    p_plan.add_argument("--top", type=int, default=0, metavar="K",
+                        help="print only the best K plans (0 = all)")
+    p_plan.add_argument("--tiny", action="store_true",
+                        help="shortcut for the smoke grid: "
+                             "--workload micro --nodes 2 "
+                             "--cores-per-node 8")
 
     p_faults = sub.add_parser("faults", help="fault-spec utilities")
     faults_sub = p_faults.add_subparsers(dest="faults_command", required=True)
@@ -312,6 +344,12 @@ def _print_fault_plan(plan) -> None:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
+    if args.command == "plan" and args.tiny:
+        # the smoke grid: small enough for CI, big enough to rank
+        args.workload = "micro"
+        args.nodes = 2
+        args.cores_per_node = 8
+
     if args.command == "faults":
         try:
             plan = parse_fault_spec(args.spec)
@@ -363,19 +401,65 @@ def main(argv: list[str] | None = None) -> int:
     print(f"{args.workload}: {workload.n_reads:,} reads, "
           f"{workload.n_tasks:,} tasks{sharded}")
 
+    if args.command == "plan":
+        from repro.perf.planner import plan as plan_grid
+
+        try:
+            points = plan_grid(workload, nodes=args.nodes,
+                               cores_per_node=args.cores_per_node,
+                               config=_config(args))
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        shown = points[:args.top] if args.top > 0 else points
+        rows = [
+            [i, p.engine, p.describe_knobs(),
+             fmt_time(p.predicted_wall) if p.feasible else "-",
+             fmt_bytes(p.predicted_memory) if p.feasible else "-",
+             p.predicted_rounds if p.feasible else "-",
+             "yes" if p.feasible else f"no ({p.reason})"]
+            for i, p in enumerate(shown, 1)
+        ]
+        print(render_table(
+            f"Ranked plans: {args.workload} @ {args.nodes} nodes "
+            f"x {args.cores_per_node} cores",
+            ["rank", "engine", "knobs", "pred_wall", "pred_mem",
+             "rounds", "feasible"],
+            rows,
+        ))
+        top = next((p for p in points if p.feasible), None)
+        if top is not None:
+            print(f"winner: {top.engine} ({top.describe_knobs()}) "
+                  f"predicted {fmt_time(top.predicted_wall)} — execute with "
+                  f"`repro run --workload {args.workload} "
+                  f"--nodes {args.nodes} --engine auto`")
+        else:
+            print("no feasible analytic plan; `--engine auto` will fall "
+                  "back to measuring every macro engine")
+        return 0
+
     if args.command == "run":
         tracer, metrics = _observability(args)
         try:
-            info = get_engine(args.approach)
-            if not info.is_micro and (
-                    args.kernel != "model" or args.backend != "serial"
-                    or args.workers != 1 or args.chunk_tasks != 0):
-                raise ConfigurationError(
-                    "--kernel/--backend/--workers/--chunk-tasks apply to "
-                    f"micro engines only; {args.approach!r} is a "
-                    f"{info.kind} engine (its analytic model never invokes "
-                    "the kernel)"
-                )
+            if args.approach == "auto":
+                if (args.kernel != "model" or args.backend != "serial"
+                        or args.workers != 1 or args.chunk_tasks != 0):
+                    raise ConfigurationError(
+                        "--kernel/--backend/--workers/--chunk-tasks apply "
+                        "to micro engines only; --engine auto plans over "
+                        "the macro engines (docs/PLANNER.md)"
+                    )
+            else:
+                info = get_engine(args.approach)
+                if not info.is_micro and (
+                        args.kernel != "model" or args.backend != "serial"
+                        or args.workers != 1 or args.chunk_tasks != 0):
+                    raise ConfigurationError(
+                        "--kernel/--backend/--workers/--chunk-tasks apply "
+                        f"to micro engines only; {args.approach!r} is a "
+                        f"{info.kind} engine (its analytic model never "
+                        "invokes the kernel)"
+                    )
             res = run_alignment(workload, args.nodes, args.approach,
                                 config=_config(args),
                                 cores_per_node=args.cores_per_node,
@@ -389,7 +473,26 @@ def main(argv: list[str] | None = None) -> int:
         except (FaultError, ExecutorError) as exc:
             print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
             return 1
-        _print_result(args.approach, res)
+        plan_info = res.details.get("plan")
+        label = (plan_info["engine"] if args.approach == "auto"
+                 else args.approach)
+        _print_result(label, res)
+        if plan_info is not None:
+            if plan_info["mode"] == "predicted":
+                knobs = ", ".join(f"{k}={v}" for k, v
+                                  in plan_info["knobs"].items()) or "-"
+                print(f"plan: predicted {plan_info['engine']} ({knobs}) at "
+                      f"{fmt_time(plan_info['predicted_wall'])}; actual "
+                      f"{fmt_time(plan_info['actual_wall'])} "
+                      f"({100 * plan_info['prediction_error']:+.3f}% error "
+                      f"over {plan_info['grid_points']} grid points)")
+            else:
+                walls = ", ".join(
+                    f"{n}={fmt_time(w)}"
+                    for n, w in plan_info["measured_walls"].items())
+                print(f"plan: no feasible analytic plan; measured every "
+                      f"macro engine ({walls}) and kept "
+                      f"{plan_info['engine']}")
         if fault_plan is not None:
             bits = [f"faults={res.details.get('faults_injected', 0)}"]
             bits += _fault_detail_bits(res.details)
@@ -408,8 +511,12 @@ def main(argv: list[str] | None = None) -> int:
                                       cores_per_node=args.cores_per_node,
                                       tracer=tracer, metrics=metrics,
                                       fault_plan=fault_plan,
-                                      fault_seed=args.fault_seed)
-        except FaultError as exc:
+                                      fault_seed=args.fault_seed,
+                                      parallel=args.parallel)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except (FaultError, ExecutorError) as exc:
             print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
             return 1
         for name, res in results.items():
@@ -435,8 +542,12 @@ def main(argv: list[str] | None = None) -> int:
                                     cores_per_node=args.cores_per_node,
                                     tracer=tracer, metrics=sweep_metrics,
                                     fault_plan=fault_plan,
-                                    fault_seed=args.fault_seed)
-        except FaultError as exc:
+                                    fault_seed=args.fault_seed,
+                                    parallel=args.parallel)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except (FaultError, ExecutorError) as exc:
             print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
             return 1
         print(render_table(

@@ -35,7 +35,7 @@ from repro.errors import ConfigurationError
 from repro.align.cost import MEAN_TASK_COST
 from repro.genome.datasets import DATASETS, synthesize_dataset
 from repro.machine.config import MachineSpec, cori_knl
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import MetricsRegistry, Tracer, set_default_tracer
 from repro.pipeline.sharded import DEFAULT_RESIDENT_SHARDS, ShardedWorkload
 from repro.pipeline.workload import ConcreteWorkload, StatisticalWorkload
 from repro.utils.cache import LruCache
@@ -51,9 +51,12 @@ __all__ = [
     "run_alignment",
     "compare_engines",
     "scaling_sweep",
+    "run_plan_points",
     "clear_workload_cache",
     "set_workload_cache_cap",
     "workload_cache_stats",
+    "clear_machine_cache",
+    "machine_cache_stats",
 ]
 
 
@@ -184,9 +187,34 @@ def get_workload(
     return wl
 
 
+#: machine specs are frozen and cheap-but-not-free to build; sweep and
+#: planner grids request the same (nodes, cores) pair dozens of times
+_MACHINE_CACHE = LruCache(maxsize=64)
+
+
 def make_machine(nodes: int, cores_per_node: int = 64) -> MachineSpec:
-    """A Cori-KNL machine allocation (the paper's platform)."""
-    return cori_knl(nodes, app_cores_per_node=cores_per_node)
+    """A Cori-KNL machine allocation (the paper's platform).
+
+    Memoized per ``(nodes, cores_per_node)`` — specs are immutable, and
+    sweep/planner grids rebuild the same handful of allocations at every
+    grid point.  Counters via :func:`machine_cache_stats`.
+    """
+    key = (int(nodes), int(cores_per_node))
+    cached = _MACHINE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    machine = cori_knl(nodes, app_cores_per_node=cores_per_node)
+    _MACHINE_CACHE.put(key, machine)
+    return machine
+
+
+def clear_machine_cache() -> None:
+    _MACHINE_CACHE.clear()
+
+
+def machine_cache_stats() -> dict:
+    """Size/cap/hit/miss/eviction counters of the machine-spec cache."""
+    return _MACHINE_CACHE.stats()
 
 
 def _make_faults(fault_plan, fault_seed: int):
@@ -227,7 +255,15 @@ def run_alignment(
     injected faults, realized deterministically from ``fault_seed`` by a
     fresh :class:`repro.faults.FaultInjector` — fault randomness never
     touches the workload/noise streams (see docs/RESILIENCE.md).
+
+    ``approach="auto"`` consults the cost-model planner
+    (:mod:`repro.perf.planner`) instead of naming an engine: the
+    top-ranked predicted plan runs, and predicted-vs-actual lands in
+    ``result.details["plan"]`` (docs/PLANNER.md).
     """
+    if approach == "auto":
+        return _run_auto(workload, nodes, config, cores_per_node, machine,
+                         tracer, metrics, fault_plan, fault_seed, kernel)
     info = get_engine(approach)
     machine = machine or make_machine(nodes, cores_per_node)
     engine = info.factory(config=config or EngineConfig())
@@ -250,6 +286,112 @@ def run_alignment(
                       faults=faults)
 
 
+def _run_auto(workload, nodes, config, cores_per_node, machine,
+              tracer, metrics, fault_plan, fault_seed, kernel) -> RunResult:
+    """``approach="auto"``: plan, run the top prediction, record regret.
+
+    When no grid point is feasible (every hook raised, or no macro
+    engine has a cost hook), falls back to *measuring* every macro
+    engine and keeping the winner — slower, but never wrong; the
+    fallback is flagged as ``details["plan"]["mode"] == "measured"``.
+    """
+    from repro.perf.planner import plan
+
+    machine = machine or make_machine(nodes, cores_per_node)
+    base = config if config is not None else EngineConfig()
+    points = plan(workload, machine=machine, config=base)
+    ranked_head = [p.as_dict() for p in points[:5]]
+    feasible = [p for p in points if p.feasible]
+    if feasible:
+        top = feasible[0]
+        result = run_alignment(
+            workload, nodes, top.engine, top.apply(base), cores_per_node,
+            machine=machine, tracer=tracer, metrics=metrics,
+            fault_plan=fault_plan, fault_seed=fault_seed, kernel=kernel,
+        )
+        actual = result.breakdown.wall_time
+        result.details["plan"] = {
+            "mode": "predicted",
+            "engine": top.engine,
+            "knobs": dict(top.knobs),
+            "predicted_wall": top.predicted_wall,
+            "actual_wall": actual,
+            "prediction_error": (actual / top.predicted_wall - 1.0
+                                 if top.predicted_wall > 0 else 0.0),
+            "grid_points": len(points),
+            "ranked": ranked_head,
+        }
+        return result
+    measured = {
+        name: run_alignment(
+            workload, nodes, name, base, cores_per_node, machine=machine,
+            tracer=tracer, metrics=metrics,
+            fault_plan=fault_plan, fault_seed=fault_seed, kernel=kernel,
+        )
+        for name in available_engines(kind=_registry.MACRO)
+    }
+    best = min(measured, key=lambda n: measured[n].breakdown.wall_time)
+    result = measured[best]
+    result.details["plan"] = {
+        "mode": "measured",
+        "engine": best,
+        "measured_walls": {
+            n: r.breakdown.wall_time for n, r in measured.items()
+        },
+        "grid_points": len(points),
+        "ranked": ranked_head,
+    }
+    return result
+
+
+# -- parallel grid fan-out ---------------------------------------------------
+
+
+def _grid_point_worker(payload) -> RunResult:
+    """Run one pre-rendered grid point in a pool worker.
+
+    The assignment arrives rendered from the parent (fork shares the
+    pages; the per-P LRU cache is *not* silently re-rendered per worker)
+    and the ambient tracer is cleared — observability sinks live in the
+    parent and cannot aggregate across processes.
+    """
+    name, assignment, machine, config, fault_plan, fault_seed = payload
+    set_default_tracer(None)
+    engine = get_engine(name).factory(
+        config=config if config is not None else EngineConfig()
+    )
+    faults = _make_faults(fault_plan, fault_seed)
+    return engine.run(assignment, machine, faults=faults)
+
+
+def _check_parallel_grid(names, tracer, metrics) -> None:
+    """Reject grid-parallel requests the fan-out cannot honor."""
+    if tracer is not None or metrics is not None:
+        raise ConfigurationError(
+            "parallel grid execution cannot attach a tracer or metrics "
+            "registry: observability sinks aggregate in-process; rerun "
+            "with parallel=False to trace or count"
+        )
+    for name in names:
+        if get_engine(name).kind == _registry.MICRO:
+            raise ConfigurationError(
+                f"approach {name!r} is a message-level (micro) engine; "
+                f"the parallel grid fans out macro runs only — run micro "
+                f"engines with parallel=False"
+            )
+
+
+def _resolve_workers(parallel, n_points: int) -> int:
+    """Worker count from a ``parallel=`` value (True = one per core)."""
+    # bool first: isinstance(True, int) is True, so True would int() to 1
+    workers = (os.cpu_count() or 1) if parallel is True else int(parallel)
+    if workers < 1:
+        raise ConfigurationError(
+            f"parallel= wants True or a worker count >= 1, got {parallel!r}"
+        )
+    return min(workers, max(1, n_points))
+
+
 def compare_engines(
     workload,
     nodes: int,
@@ -260,6 +402,7 @@ def compare_engines(
     fault_plan=None,
     fault_seed: int = 0,
     approaches: Iterable[str] | None = None,
+    parallel: bool | int = False,
 ) -> dict[str, RunResult]:
     """Run the macro approaches on identical fixed inputs (the paper's
     method).
@@ -270,9 +413,29 @@ def compare_engines(
     "processes" — a side-by-side timeline in Perfetto.  With a
     ``fault_plan``, each engine gets its own injector built from the same
     plan and seed — identical bad luck for all codes.
+
+    ``parallel=True`` (or a worker count) fans the independent engine
+    runs over a process pool — bit-identical to the serial path (the
+    golden-signature suite pins it), but tracers/metrics cannot attach.
     """
     names = (tuple(approaches) if approaches is not None
              else available_engines(kind=_registry.MACRO))
+    for name in names:
+        get_engine(name)  # fail fast on typos before running anything
+    if parallel:
+        from repro.runtime.executor import fanout_map
+
+        _check_parallel_grid(names, tracer, metrics)
+        machine = make_machine(nodes, cores_per_node)
+        # render once in the parent; workers inherit the pages via fork
+        assignment = workload.assignment(machine.total_ranks)
+        payloads = [
+            (name, assignment, machine, config, fault_plan, fault_seed)
+            for name in names
+        ]
+        results = fanout_map(_grid_point_worker, payloads,
+                             _resolve_workers(parallel, len(payloads)))
+        return dict(zip(names, results))
     return {
         name: run_alignment(workload, nodes, name, config, cores_per_node,
                             tracer=tracer, metrics=metrics,
@@ -291,6 +454,7 @@ def scaling_sweep(
     metrics: dict[int, MetricsRegistry] | None = None,
     fault_plan=None,
     fault_seed: int = 0,
+    parallel: bool | int = False,
 ) -> dict[str, dict[int, RunResult]]:
     """Strong-scaling sweep: results[approach][nodes] -> RunResult.
 
@@ -305,11 +469,36 @@ def scaling_sweep(
     Each workload assignment is rendered at most once per rank count: all
     approaches at a node count share the workload's per-P LRU cache entry
     (observable through ``workload.assignment_cache.stats()``).
+
+    ``parallel=True`` (or a worker count) fans the engine × node-count
+    grid over a process pool.  Assignments are still rendered once per
+    rank count — in the parent, before dispatch — and the results are
+    bit-identical to the serial sweep (pinned by the golden-signature
+    suite); tracers/metrics cannot attach in this mode.
     """
     names = (tuple(approaches) if approaches is not None
              else available_engines(kind=_registry.MACRO))
     for name in names:
         get_engine(name)  # fail fast on typos before running anything
+    if parallel:
+        from repro.runtime.executor import fanout_map
+
+        _check_parallel_grid(names, tracer, metrics)
+        payloads = []
+        for nodes in node_counts:
+            machine = make_machine(nodes, cores_per_node)
+            # one render per rank count, in the parent — the per-P LRU
+            # cache is not silently re-rendered inside every worker
+            assignment = workload.assignment(machine.total_ranks)
+            for name in names:
+                payloads.append((name, assignment, machine, config,
+                                 fault_plan, fault_seed))
+        results = fanout_map(_grid_point_worker, payloads,
+                             _resolve_workers(parallel, len(payloads)))
+        out = {a: {} for a in names}
+        for (name, _a, machine, *_rest), res in zip(payloads, results):
+            out[name][machine.nodes] = res
+        return out
     out: dict[str, dict[int, RunResult]] = {a: {} for a in names}
     for nodes in node_counts:
         node_metrics = None
@@ -326,3 +515,51 @@ def scaling_sweep(
                 fault_plan=fault_plan, fault_seed=fault_seed,
             )
     return out
+
+
+def run_plan_points(
+    workload,
+    nodes: int,
+    points,
+    config: EngineConfig | None = None,
+    cores_per_node: int = 64,
+    fault_plan=None,
+    fault_seed: int = 0,
+    parallel: bool | int = False,
+) -> list[RunResult | None]:
+    """Execute planner grid points; results align with ``points``.
+
+    The measurement half of the planner's regret methodology
+    (``benchmarks/bench_planner.py``): each feasible
+    :class:`~repro.perf.planner.PlanPoint` runs through its engine with
+    its knobs applied over ``config``; infeasible points yield ``None``.
+    ``parallel=`` fans the feasible points over the process pool exactly
+    like :func:`scaling_sweep` — one parent-rendered assignment, results
+    bit-identical to the serial path.
+    """
+    machine = make_machine(nodes, cores_per_node)
+    base = config if config is not None else EngineConfig()
+    runnable = [(i, p) for i, p in enumerate(points)
+                if getattr(p, "feasible", True)]
+    results: list[RunResult | None] = [None] * len(points)
+    if parallel:
+        from repro.runtime.executor import fanout_map
+
+        _check_parallel_grid([p.engine for _, p in runnable], None, None)
+        assignment = workload.assignment(machine.total_ranks)
+        payloads = [
+            (p.engine, assignment, machine, p.apply(base),
+             fault_plan, fault_seed)
+            for _, p in runnable
+        ]
+        outs = fanout_map(_grid_point_worker, payloads,
+                          _resolve_workers(parallel, len(payloads)))
+        for (i, _p), res in zip(runnable, outs):
+            results[i] = res
+        return results
+    for i, p in runnable:
+        results[i] = run_alignment(
+            workload, nodes, p.engine, p.apply(base), cores_per_node,
+            machine=machine, fault_plan=fault_plan, fault_seed=fault_seed,
+        )
+    return results

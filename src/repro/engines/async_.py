@@ -39,12 +39,13 @@ from repro.engines.common import (
     apply_pull_faults,
     assemble_pull_phases,
     mean_read_bytes,
+    predict_pull_wall,
     pull_comm,
     pull_overheads,
     split_pull_compute,
 )
 from repro.engines.harness import ExecutionContext
-from repro.engines.registry import register_engine
+from repro.engines.registry import register_cost_hook, register_engine
 from repro.engines.report import RunResult
 from repro.machine.config import MachineSpec
 from repro.obs import MetricsRegistry, Tracer
@@ -136,3 +137,27 @@ class AsyncEngine:
             redist_counts=fo.redist_counts,
             tasks_redistributed=fo.tasks_redistributed,
         )
+
+
+@register_cost_hook("async")
+def _predict_async(assignment: WorkloadAssignment, machine: MachineSpec,
+                   config: EngineConfig) -> dict:
+    """Analytic fault-free wall clock of :class:`AsyncEngine`.
+
+    The shared pull predictor evaluated at ``async_aggregation`` — on a
+    noise-free machine this is bit-equal to the engine's measured wall.
+    """
+    wall = predict_pull_wall(config, assignment, machine,
+                             float(config.async_aggregation))
+    avg_read = mean_read_bytes(assignment)
+    memory = (
+        RUNTIME_BASE_MEMORY
+        + assignment.partition_bytes
+        + assignment.tasks_per_rank * ASYNC_TASK_RECORD_BYTES
+        + config.async_window * avg_read
+    )
+    return {
+        "wall": wall,
+        "peak_memory": float(memory.max(initial=0.0)),
+        "rounds": 0,
+    }

@@ -36,10 +36,11 @@ from repro.engines.common import (
 )
 from repro.engines.harness import ExecutionContext
 from repro.engines.rebalance import MigrationLedger
-from repro.engines.registry import register_engine
+from repro.engines.registry import register_cost_hook, register_engine
 from repro.engines.report import RunResult
 from repro.errors import RankFailureError
 from repro.machine.config import MachineSpec
+from repro.machine.network import NetworkModel
 from repro.obs import ENGINE_LANE, MetricsRegistry, Tracer
 from repro.pipeline.workload import WorkloadAssignment
 
@@ -405,3 +406,56 @@ class BSPEngine:
             redist_counts=redist_counts,
             tasks_redistributed=tasks_redistributed,
         )
+
+
+@register_cost_hook("bsp")
+def _predict_bsp(assignment: WorkloadAssignment, machine: MachineSpec,
+                 config: EngineConfig) -> dict:
+    """Analytic fault-free wall clock of :class:`BSPEngine`.
+
+    Replays the engine's per-round arithmetic (same float operations,
+    same association order) without timers, trace, or fault bookkeeping,
+    so on a noise-free machine the prediction is bit-equal to the
+    engine's measured wall.  Raises ``ConfigurationError`` when the
+    partition does not fit per-rank memory — the planner records such
+    grid points as infeasible.
+    """
+    net = NetworkModel(machine)
+    P = assignment.num_ranks
+    rounds = bsp_num_rounds(config, machine, assignment)
+    send = assignment.send_bytes
+    recv = assignment.recv_bytes
+    avg_sources = (float(np.minimum(assignment.lookups, P - 1).mean())
+                   if P > 1 else 1.0)
+    comm_only = config.mode is ExecutionMode.COMM_ONLY
+    compute = np.zeros(P) if comm_only else assignment.compute_seconds
+    overhead = (
+        assignment.tasks_per_rank * config.bsp_task_overhead
+        + assignment.lookups * config.bsp_read_overhead
+        * internode_fraction(machine)
+    )
+    eff_scale = config.multiround_efficiency if rounds > 1 else 1.0
+    duration = net.alltoallv_time(
+        (send / rounds).max(initial=0.0),
+        (recv / rounds).max(initial=0.0),
+        avg_sources,
+        efficiency_scale=eff_scale,
+    )
+    phase = compute / rounds + overhead / rounds
+    phase_end = float(phase.max(initial=0.0))
+    wall = 0.0
+    for _ in range(rounds):
+        wall += duration
+        wall += phase_end
+    wall += net.barrier_time()
+    memory = (
+        BSP_BASE_MEMORY
+        + assignment.partition_bytes
+        + assignment.tasks_per_rank * BSP_TASK_RECORD_BYTES
+        + (recv + send) / rounds
+    )
+    return {
+        "wall": wall,
+        "peak_memory": float(memory.max(initial=0.0)),
+        "rounds": rounds,
+    }

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.engines.base import EngineConfig
+from repro.engines.base import EngineConfig, ExecutionMode
 from repro.engines.harness import ExecutionContext
 from repro.engines.rebalance import MigrationLedger
 from repro.errors import ConfigurationError, RankFailureError
@@ -45,6 +45,7 @@ __all__ = [
     "PullFaultOutcome",
     "apply_pull_faults",
     "assemble_pull_phases",
+    "predict_pull_wall",
 ]
 
 #: fixed per-rank footprint: program image + MPI runtime + output buffers
@@ -178,6 +179,50 @@ def pull_comm(net: NetworkModel, assignment: WorkloadAssignment,
         )
         for i in range(P)
     ])
+
+
+def predict_pull_wall(config: EngineConfig, assignment: WorkloadAssignment,
+                      machine: MachineSpec, agg: float, *,
+                      batch_fill_stall: bool = False) -> float:
+    """Closed-form fault-free, noise-free wall clock of the pull engines.
+
+    The exact arithmetic of :func:`assemble_pull_phases` with unit noise
+    factors and no injector, evaluated without timers or trace emission —
+    the shared body of the ``async`` and ``hybrid`` cost hooks (the two
+    differ only in ``agg`` and in the batch-fill stall, just like the
+    engines themselves).  On an isolated machine (the default Cori
+    configuration leaves 4 cores to the OS, so noise is off) the
+    prediction reproduces the engine's fault-free wall clock to the last
+    bit: the same float operations run in the same association order.
+    """
+    P = assignment.num_ranks
+    net = NetworkModel(machine)
+    comm_only = config.mode is ExecutionMode.COMM_ONLY
+    if comm_only:
+        local_compute = np.zeros(P)
+        remote_compute = np.zeros(P)
+    else:
+        local_compute = assignment.local_pair_seconds
+        remote_compute = assignment.compute_seconds - assignment.local_pair_seconds
+    overhead = pull_overheads(config, assignment, machine)
+    overhead_pre = 0.5 * overhead
+    overhead_cb = overhead - overhead_pre
+    bar = net.barrier_time()
+    comm = net.rpc_pull_time_batch(
+        assignment.lookups / agg,
+        assignment.lookup_bytes,
+        assignment.incoming_lookups / agg,
+        assignment.incoming_bytes,
+    )
+    if batch_fill_stall:
+        n_batches = np.ceil(assignment.lookups / agg)
+        comm = comm + n_batches * (agg - 1.0) * machine.network.msg_gap
+    phase_a_end = np.maximum(local_compute + overhead_pre, bar)
+    busy = remote_compute + overhead_cb
+    visible_comm = np.maximum(comm - busy, config.async_min_visible * comm)
+    phase_b = busy + visible_comm
+    finish = phase_a_end + phase_b
+    return float(finish.max(initial=0.0)) + bar
 
 
 @dataclass

@@ -37,12 +37,13 @@ from repro.engines.common import (
     apply_pull_faults,
     assemble_pull_phases,
     mean_read_bytes,
+    predict_pull_wall,
     pull_comm,
     pull_overheads,
     split_pull_compute,
 )
 from repro.engines.harness import ExecutionContext
-from repro.engines.registry import register_engine
+from repro.engines.registry import register_cost_hook, register_engine
 from repro.engines.report import RunResult
 from repro.machine.config import MachineSpec
 from repro.obs import MetricsRegistry, Tracer
@@ -135,3 +136,29 @@ class HybridEngine:
             redist_counts=fo.redist_counts,
             tasks_redistributed=fo.tasks_redistributed,
         )
+
+
+@register_cost_hook("hybrid")
+def _predict_hybrid(assignment: WorkloadAssignment, machine: MachineSpec,
+                    config: EngineConfig) -> dict:
+    """Analytic fault-free wall clock of :class:`HybridEngine`.
+
+    The shared pull predictor at ``hybrid_aggregation`` with the
+    batch-fill accumulation stall enabled — bit-equal to the engine's
+    measured wall on a noise-free machine.
+    """
+    agg = float(config.hybrid_aggregation)
+    wall = predict_pull_wall(config, assignment, machine, agg,
+                             batch_fill_stall=True)
+    avg_read = mean_read_bytes(assignment)
+    memory = (
+        ASYNC_BASE_MEMORY
+        + assignment.partition_bytes
+        + assignment.tasks_per_rank * ASYNC_TASK_RECORD_BYTES
+        + config.async_window * agg * avg_read
+    )
+    return {
+        "wall": wall,
+        "peak_memory": float(memory.max(initial=0.0)),
+        "rounds": 0,
+    }

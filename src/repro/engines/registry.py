@@ -31,8 +31,11 @@ from repro.errors import ConfigurationError
 __all__ = [
     "EngineInfo",
     "register_engine",
+    "register_cost_hook",
     "get_engine",
+    "get_cost_hook",
     "available_engines",
+    "engines_with_cost_hooks",
     "create_engine",
 ]
 
@@ -40,6 +43,9 @@ MACRO = "macro"
 MICRO = "micro"
 
 _REGISTRY: dict[str, "EngineInfo"] = {}
+
+#: engine name -> analytic cost predictor (see :func:`register_cost_hook`)
+_COST_HOOKS: dict[str, object] = {}
 
 
 @dataclass(frozen=True)
@@ -83,6 +89,54 @@ def register_engine(name: str, *, kind: str = MACRO, description: str = ""):
         return cls
 
     return deco
+
+
+def register_cost_hook(name: str):
+    """Function decorator attaching an analytic cost predictor to engine
+    ``name`` (the planner's extension point, mirroring
+    :func:`register_engine`).
+
+    A cost hook has the signature ``fn(assignment, machine, config) ->
+    dict`` and returns at least ``{"wall": seconds}`` — the engine's
+    predicted fault-free, noise-free wall clock on that assignment and
+    machine under that :class:`~repro.engines.base.EngineConfig` — plus
+    optional ``"peak_memory"`` (bytes) and ``"rounds"`` keys.  It may
+    raise :class:`~repro.errors.ConfigurationError` for infeasible
+    configurations (e.g. the BSP partition not fitting per-rank memory);
+    the planner records such grid points as infeasible instead of
+    crashing the plan.
+
+    Engines without a hook (the micro SPMD engines) are simply not
+    rankable analytically: ``repro.perf.planner`` lists them as
+    "measure instead" and ``run --engine auto`` falls back to exhaustive
+    measurement when no hook-backed plan is feasible.
+    """
+
+    def deco(fn):
+        if name in _COST_HOOKS:
+            raise ConfigurationError(
+                f"cost hook for engine {name!r} is already registered "
+                f"(by {_COST_HOOKS[name].__qualname__})"
+            )
+        _COST_HOOKS[name] = fn
+        return fn
+
+    return deco
+
+
+def get_cost_hook(name: str):
+    """The cost predictor registered for ``name``, or ``None``.
+
+    ``None`` means the engine cannot be ranked analytically (no
+    :func:`register_cost_hook` call) — callers should fall back to
+    measuring it.
+    """
+    return _COST_HOOKS.get(name)
+
+
+def engines_with_cost_hooks() -> tuple[str, ...]:
+    """Registered engine names that have a cost hook (registration order)."""
+    return tuple(name for name in _REGISTRY if name in _COST_HOOKS)
 
 
 def get_engine(name: str) -> EngineInfo:

@@ -1,5 +1,13 @@
-"""Per-figure series builders and ASCII rendering of the paper's artifacts."""
+"""Per-figure series builders, ASCII rendering, and the cost-model planner."""
 
+from repro.perf.planner import (
+    DEFAULT_KNOB_GRID,
+    PlanPoint,
+    WorkloadStats,
+    knob_grid_points,
+    plan,
+    predict,
+)
 from repro.perf.figures import (
     fig3_intranode,
     fig4_single_node,
@@ -27,4 +35,10 @@ __all__ = [
     "table1_workloads",
     "render_table",
     "render_breakdown_rows",
+    "DEFAULT_KNOB_GRID",
+    "PlanPoint",
+    "WorkloadStats",
+    "knob_grid_points",
+    "plan",
+    "predict",
 ]

@@ -1,0 +1,316 @@
+"""Cost-model planner: predictions, ranking, regret, and the parallel grid."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.api import (
+    clear_machine_cache,
+    compare_engines,
+    get_workload,
+    machine_cache_stats,
+    make_machine,
+    run_alignment,
+    run_plan_points,
+    scaling_sweep,
+)
+from repro.cli import main
+from repro.engines.base import EngineConfig
+from repro.engines.registry import (
+    MACRO,
+    available_engines,
+    engines_with_cost_hooks,
+    get_cost_hook,
+    register_cost_hook,
+)
+from repro.errors import ConfigurationError
+from repro.obs import Tracer
+from repro.perf.planner import (
+    DEFAULT_KNOB_GRID,
+    WorkloadStats,
+    knob_grid_points,
+    plan,
+    predict,
+)
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+NODES = 2
+CORES = 4
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_workload("micro")
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return make_machine(NODES, CORES)
+
+
+@pytest.fixture(scope="module")
+def stats(workload, machine):
+    return WorkloadStats.from_workload(workload, machine)
+
+
+# -- registry ----------------------------------------------------------------
+
+
+def test_macro_engines_all_have_cost_hooks():
+    hooked = set(engines_with_cost_hooks())
+    for name in available_engines(kind=MACRO):
+        assert name in hooked
+        assert get_cost_hook(name) is not None
+
+
+def test_micro_engines_have_no_cost_hooks():
+    assert get_cost_hook("bsp-micro") is None
+    assert get_cost_hook("async-micro") is None
+
+
+def test_duplicate_cost_hook_rejected():
+    with pytest.raises(ConfigurationError, match="already registered"):
+        @register_cost_hook("bsp")
+        def _dup(assignment, machine, config):  # pragma: no cover
+            return {"wall": 0.0}
+
+
+# -- predictions -------------------------------------------------------------
+
+
+@SLOW
+@given(
+    emf=st.floats(min_value=0.05, max_value=1.0,
+                  allow_nan=False, allow_infinity=False),
+    agg=st.integers(min_value=1, max_value=256),
+    hagg=st.integers(min_value=1, max_value=256),
+    engine=st.sampled_from(("bsp", "async", "hybrid")),
+)
+def test_predicted_wall_finite_positive_over_knob_space(
+        stats, machine, emf, agg, hagg, engine):
+    cfg = EngineConfig(exchange_memory_fraction=emf,
+                       async_aggregation=agg, hybrid_aggregation=hagg)
+    point = predict(stats, machine, engine, config=cfg)
+    assert point.feasible
+    assert point.predicted_wall > 0.0
+    assert point.predicted_wall < float("inf")
+    assert point.predicted_memory > 0.0
+
+
+@pytest.mark.parametrize("engine", available_engines(kind=MACRO))
+def test_prediction_matches_engine_exactly(workload, machine, stats, engine):
+    """Noise is off on the default allocation: predictions are bit-equal."""
+    point = predict(stats, machine, engine)
+    res = run_alignment(workload, NODES, engine, cores_per_node=CORES)
+    assert point.predicted_wall == res.breakdown.wall_time
+    assert point.predicted_memory == res.max_memory_per_rank
+
+
+def test_predict_unknown_engine_fails_fast(stats, machine):
+    with pytest.raises(ConfigurationError, match="unknown approach"):
+        predict(stats, machine, "bps")
+
+
+def test_predict_without_hook_raises(stats, machine):
+    with pytest.raises(ConfigurationError, match="no registered cost hook"):
+        predict(stats, machine, "bsp-micro")
+
+
+def test_knob_grid_covers_default_grid():
+    for engine, knobs in DEFAULT_KNOB_GRID.items():
+        points = knob_grid_points(engine)
+        expected = 1
+        for values in knobs.values():
+            expected *= len(values)
+        assert len(points) == expected
+    assert knob_grid_points("not-in-grid") == [()]
+
+
+# -- ranking -----------------------------------------------------------------
+
+
+def test_plan_ranking_deterministic(workload, machine):
+    a = plan(workload, machine=machine)
+    b = plan(workload, machine=machine)
+    assert a == b
+    walls = [p.predicted_wall for p in a]
+    assert walls == sorted(walls)
+
+
+def test_plan_ranking_independent_of_engine_order(workload, machine):
+    names = list(available_engines(kind=MACRO))
+    shuffled = names[:]
+    random.Random(7).shuffle(shuffled)
+    assert plan(workload, machine=machine, engines=names) == \
+        plan(workload, machine=machine, engines=shuffled)
+
+
+def test_plan_fails_fast_on_typo(workload, machine):
+    with pytest.raises(ConfigurationError, match="unknown approach"):
+        plan(workload, machine=machine, engines=["bsp", "asycn"])
+
+
+def test_plan_lists_hookless_engine_as_measure_instead(workload, machine):
+    points = plan(workload, machine=machine, engines=["bsp", "bsp-micro"])
+    micro = [p for p in points if p.engine == "bsp-micro"]
+    assert len(micro) == 1
+    assert not micro[0].feasible
+    assert "measure instead" in micro[0].reason
+    assert micro[0].predicted_wall == float("inf")
+    assert points[-1] is micro[0]  # infeasible sorts last
+
+
+def test_infeasible_grid_point_recorded_not_raised(
+        workload, machine, monkeypatch):
+    from repro.engines import registry as reg
+
+    def _boom(assignment, machine, config):
+        raise ConfigurationError("per-rank memory cannot hold the partition")
+
+    monkeypatch.setitem(reg._COST_HOOKS, "bsp", _boom)
+    points = plan(workload, machine=machine, engines=["bsp"])
+    assert all(not p.feasible for p in points)
+    assert all(p.predicted_wall == float("inf") for p in points)
+    assert all("memory" in p.reason for p in points)
+
+
+# -- regret ------------------------------------------------------------------
+
+
+def test_top1_regret_below_bound_on_tiny_grid(workload):
+    points = plan(workload, nodes=NODES, cores_per_node=CORES)
+    results = run_plan_points(workload, NODES, points,
+                              cores_per_node=CORES)
+    measured = [r.breakdown.wall_time for r in results if r is not None]
+    top = next(p for p in points if p.feasible)
+    top_measured = results[points.index(top)].breakdown.wall_time
+    regret = top_measured / min(measured) - 1.0
+    assert regret <= 0.10
+    # stronger: predictions are exact here, so regret is exactly zero
+    assert regret == 0.0
+
+
+def test_auto_runs_top_plan_and_records_regret(workload):
+    res = run_alignment(workload, NODES, "auto", cores_per_node=CORES)
+    info = res.details["plan"]
+    assert info["mode"] == "predicted"
+    assert info["engine"] in available_engines(kind=MACRO)
+    assert info["predicted_wall"] == info["actual_wall"]
+    assert info["prediction_error"] == 0.0
+    assert info["grid_points"] >= 11
+    assert info["ranked"][0]["engine"] == info["engine"]
+    # within 10% of the best engine found exhaustively (acceptance bound)
+    exhaustive = compare_engines(workload, NODES, cores_per_node=CORES)
+    best = min(r.breakdown.wall_time for r in exhaustive.values())
+    assert info["actual_wall"] <= 1.10 * best
+
+
+def test_run_plan_points_aligns_with_points(workload, machine):
+    points = plan(workload, machine=machine, engines=["bsp", "bsp-micro"])
+    results = run_plan_points(workload, NODES, points, cores_per_node=CORES)
+    assert len(results) == len(points)
+    for p, r in zip(points, results):
+        assert (r is None) == (not p.feasible)
+
+
+# -- parallel grid ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", available_engines(kind=MACRO))
+def test_parallel_sweep_bit_identical_per_engine(workload, engine):
+    serial = scaling_sweep(workload, [1, NODES], approaches=[engine],
+                           cores_per_node=CORES)
+    par = scaling_sweep(workload, [1, NODES], approaches=[engine],
+                        cores_per_node=CORES, parallel=2)
+    for nodes in (1, NODES):
+        assert serial[engine][nodes].signature() == \
+            par[engine][nodes].signature()
+
+
+def test_parallel_compare_bit_identical(workload):
+    serial = compare_engines(workload, NODES, cores_per_node=CORES)
+    par = compare_engines(workload, NODES, cores_per_node=CORES,
+                          parallel=True)
+    assert set(serial) == set(par)
+    for name in serial:
+        assert serial[name].signature() == par[name].signature()
+
+
+def test_parallel_run_plan_points_bit_identical(workload):
+    points = plan(workload, nodes=NODES, cores_per_node=CORES)
+    serial = run_plan_points(workload, NODES, points, cores_per_node=CORES)
+    par = run_plan_points(workload, NODES, points, cores_per_node=CORES,
+                          parallel=2)
+    for a, b in zip(serial, par):
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.signature() == b.signature()
+
+
+def test_parallel_rejects_tracer_and_micro(workload):
+    with pytest.raises(ConfigurationError, match="tracer"):
+        compare_engines(workload, NODES, cores_per_node=CORES,
+                        tracer=Tracer(), parallel=True)
+    with pytest.raises(ConfigurationError, match="micro"):
+        compare_engines(workload, 1, cores_per_node=2,
+                        approaches=["bsp-micro"], parallel=True)
+
+
+def test_parallel_worker_count_validation(workload):
+    with pytest.raises(ConfigurationError, match="worker count >= 1"):
+        compare_engines(workload, NODES, cores_per_node=CORES, parallel=-2)
+
+
+def test_compare_engines_fails_fast_on_typo(workload):
+    """A typo'd approach fails before any engine runs (not after)."""
+    with pytest.raises(ConfigurationError, match="unknown approach"):
+        compare_engines(workload, NODES, cores_per_node=CORES,
+                        approaches=["bsp", "asycn"])
+
+
+# -- machine cache ------------------------------------------------------------
+
+
+def test_machine_cache_hits_across_grid_points(workload):
+    clear_machine_cache()
+    base = machine_cache_stats()
+    assert base["size"] == 0
+    m1 = make_machine(NODES, CORES)
+    m2 = make_machine(NODES, CORES)
+    assert m1 is m2
+    stats = machine_cache_stats()
+    assert stats["hits"] >= 1
+    assert stats["misses"] >= 1
+    scaling_sweep(workload, [NODES], cores_per_node=CORES)
+    assert machine_cache_stats()["hits"] > stats["hits"]
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_plan_tiny(capsys):
+    assert main(["plan", "--tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "Ranked plans" in out
+    assert "winner:" in out
+
+
+def test_cli_run_auto(capsys):
+    assert main(["run", "--workload", "micro", "--nodes", "2",
+                 "--cores-per-node", "8", "--engine", "auto"]) == 0
+    out = capsys.readouterr().out
+    assert "plan: predicted" in out
+    assert "+0.000% error" in out
+
+
+def test_cli_sweep_parallel_rejects_trace(tmp_path):
+    rc = main(["sweep", "--workload", "micro", "--nodes", "1", "2",
+               "--cores-per-node", "4", "--parallel",
+               "--trace", str(tmp_path / "t.json")])
+    assert rc == 2
