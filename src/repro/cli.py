@@ -165,6 +165,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault spec string, e.g. "
                             "'evict=r1@5:grace=2,join=r3@10,redistribute'")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the alignment-as-a-service HTTP API (docs/SERVICE.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="listen port (0 = ephemeral, printed at start)")
+    p_serve.add_argument("--slots", type=int, default=2,
+                         help="jobs allowed to run concurrently")
+    p_serve.add_argument("--backlog", type=int, default=64,
+                         help="queued-job bound; submissions beyond it are "
+                              "rejected with HTTP 429")
+    p_serve.add_argument("--total-workers", type=int, default=None,
+                         help="summed process-pool workers admitted jobs may "
+                              "hold (default: the machine's core count)")
+    p_serve.add_argument("--memory-mb", type=int, default=2048,
+                         help="admission memory ledger capacity (MiB)")
+    p_serve.add_argument("--cache-entries", type=int, default=64,
+                         help="result-cache size (whole RunResults)")
+    p_serve.add_argument("--phase-stride", type=int, default=1,
+                         help="forward every Nth phase event over SSE "
+                              "(1 = all)")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request to stderr")
+
     sub.add_parser("datasets", help="list workload presets")
     sub.add_parser("engines", help="list registered engines")
     return parser
@@ -341,8 +366,48 @@ def _print_fault_plan(plan) -> None:
               "see docs/RESILIENCE.md")
 
 
+def _cmd_serve(args) -> int:
+    # imported lazily: the service layer sits above the CLI's usual
+    # dependencies and only loads when asked for
+    from repro.service import ResultCache, RunQueue, ServiceServer
+
+    try:
+        queue = RunQueue(
+            slots=args.slots,
+            backlog=args.backlog,
+            total_workers=args.total_workers,
+            memory_bytes=float(args.memory_mb) * 1024 ** 2,
+            cache=ResultCache(entries=args.cache_entries),
+            phase_stride=args.phase_stride,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        server = ServiceServer(queue=queue, host=args.host, port=args.port,
+                               verbose=args.verbose)
+    except OSError as exc:
+        queue.shutdown()
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(f"repro service listening on http://{server.host}:{server.port} "
+          f"({args.slots} slots, backlog {args.backlog}, "
+          f"cache {args.cache_entries} entries); Ctrl-C to stop",
+          flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        queue.shutdown(cancel_running=True)
+    print("service stopped; queue drained")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.command == "serve":
+        return _cmd_serve(args)
 
     if args.command == "plan" and args.tiny:
         # the smoke grid: small enough for CI, big enough to rank

@@ -59,6 +59,28 @@ class ExecutorError(ReproError):
     """The compute backend failed outside the simulation model."""
 
 
+class ServiceError(ReproError):
+    """The job service (queue/cache/HTTP layer) reached an invalid state."""
+
+
+class JobStateError(ServiceError):
+    """A job was driven through an illegal state transition."""
+
+
+class JobCancelledError(ServiceError):
+    """A job was cancelled — by a client, or by queue shutdown.
+
+    Raised *inside* a running job by the progress-tracer sink (the next
+    trace event after the cancel request aborts the engine mid-run; the
+    engines hold their executors in ``with`` blocks, so pools and shared
+    memory tear down cleanly), and recorded as the typed error of jobs
+    still QUEUED when the queue shuts down."""
+
+
+class QueueFullError(ServiceError):
+    """The run queue's bounded backlog rejected a submission (HTTP 429)."""
+
+
 class WorkerCrashError(ExecutorError):
     """A process-backend worker died mid-batch.
 

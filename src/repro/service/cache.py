@@ -1,0 +1,57 @@
+"""Signature-keyed result cache for the job service.
+
+Keys are :meth:`repro.service.jobs.JobRequest.cache_key` digests — the
+canonical hash over every result-affecting request field — and values are
+the completed :class:`~repro.engines.report.RunResult` objects themselves.
+A served-from-cache job completes instantly with ``cache_hit=True`` and a
+:meth:`~repro.engines.report.RunResult.signature` bit-identical to the
+fresh run's: the cache stores the *object*, and signatures are pure
+functions of it (``tests/test_service_http.py`` pins the equality against
+the golden suite).
+
+Thread-safe wrapper over the repo's counted
+:class:`~repro.utils.cache.LruCache`: queue workers publish results while
+HTTP threads serve hits concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.engines.report import RunResult
+from repro.utils.cache import LruCache
+
+__all__ = ["ResultCache", "DEFAULT_CACHE_ENTRIES"]
+
+#: default bound on cached results — entries are whole RunResults (per-rank
+#: arrays + alignments), so the cap is deliberately modest
+DEFAULT_CACHE_ENTRIES = 64
+
+
+class ResultCache:
+    """Bounded, counted, thread-safe result store."""
+
+    def __init__(self, entries: int = DEFAULT_CACHE_ENTRIES):
+        self._lru = LruCache(maxsize=entries)
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> RunResult | None:
+        with self._lock:
+            return self._lru.get(key)
+
+    def put(self, key: str, result: RunResult) -> None:
+        with self._lock:
+            self._lru.put(key, result)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._lru.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._lru)
+
+    def stats(self) -> dict:
+        """Size/cap/hit/miss/eviction counters (hits = served-from-cache)."""
+        with self._lock:
+            return self._lru.stats()

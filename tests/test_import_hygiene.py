@@ -77,3 +77,26 @@ def test_detects_utils_layering_violation(tmp_path):
     })
     problems = check_imports.run(tmp_path)
     assert any("bottom layer" in p for p in problems)
+
+
+def test_detects_service_layering_violation(tmp_path):
+    # repro.service is the top layer: the library below must not reach it
+    _write_pkg(tmp_path, {
+        "__init__.py": "",
+        "core/__init__.py": "",
+        "core/api.py": "from repro.service.queue import RunQueue\n",
+        "service/__init__.py": "",
+        "service/queue.py": "",
+    })
+    problems = check_imports.run(tmp_path)
+    assert any("top layer" in p for p in problems)
+
+
+def test_cli_reaches_service_only_lazily():
+    graph = check_imports.build_graph(REPO_ROOT / "src")
+    service_deps = {d for d in graph["repro.cli"]
+                    if d.startswith("repro.service")}
+    assert not service_deps, (
+        "repro.cli must import repro.service inside the serve command, "
+        f"not at module level: {service_deps}"
+    )

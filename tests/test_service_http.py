@@ -1,0 +1,324 @@
+"""The HTTP API over a live localhost server.
+
+Everything here drives a real :class:`~repro.service.http.ServiceServer`
+bound to an ephemeral port — submission, polling, SSE streaming,
+cancellation, backpressure, and the PR's acceptance criterion: two
+clients submitting the same workload concurrently see one engine
+execution and bit-identical results whose signature equals the pinned
+golden, with a tracer-derived ``phase`` event on the stream before
+completion.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.service import JobRequest, RunQueue, ServiceServer
+
+WAIT = 120.0
+
+GOLDENS = json.loads(
+    (Path(__file__).parent / "goldens" / "signatures.json").read_text()
+)
+
+#: the golden-matrix case the service must reproduce bit-identically
+GOLDEN_REQUEST = {"workload": "micro", "seed": 11, "engine": "bsp",
+                  "nodes": 2, "cores_per_node": 4}
+GOLDEN_SIGNATURE = GOLDENS["bsp/micro@11"]
+
+
+@pytest.fixture()
+def server():
+    srv = ServiceServer(slots=2).start()
+    yield srv
+    srv.stop()
+
+
+def _request(url: str, method: str = "GET", body: dict | None = None):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    return urllib.request.urlopen(req, timeout=WAIT)
+
+
+def _json(url: str, method: str = "GET", body: dict | None = None):
+    with _request(url, method, body) as resp:
+        return resp.status, json.load(resp)
+
+
+def _submit(server, body: dict) -> dict:
+    status, payload = _json(server.url("/jobs"), "POST", body)
+    assert status == 201
+    return payload
+
+
+def _poll_done(server, job_id: str) -> dict:
+    deadline = time.monotonic() + WAIT
+    while time.monotonic() < deadline:
+        _, payload = _json(server.url(f"/jobs/{job_id}"))
+        if payload["state"] in ("DONE", "FAILED", "CANCELLED"):
+            return payload
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never reached a terminal state")
+
+
+def _sse_events(server, job_id: str, since: int = 0) -> list[dict]:
+    """Consume the job's SSE stream to its end; parse every frame."""
+    events = []
+    url = server.url(f"/jobs/{job_id}/events?since={since}")
+    with urllib.request.urlopen(url, timeout=WAIT) as stream:
+        assert stream.headers["Content-Type"] == "text/event-stream"
+        frame: dict = {}
+        for raw in stream:
+            line = raw.decode().rstrip("\n")
+            if not line:
+                if frame:
+                    events.append(frame)
+                frame = {}
+            elif line.startswith("event: "):
+                frame["event_field"] = line[len("event: "):]
+            elif line.startswith("data: "):
+                frame["data"] = json.loads(line[len("data: "):])
+        if frame:
+            events.append(frame)
+    return events
+
+
+# -- lifecycle over a live server --------------------------------------------
+
+def test_submit_poll_result_roundtrip(server):
+    job = _submit(server, GOLDEN_REQUEST)
+    assert job["id"].startswith("job-")
+    assert job["state"] in ("QUEUED", "ADMITTED", "RUNNING", "DONE")
+    final = _poll_done(server, job["id"])
+    assert final["state"] == "DONE" and final["error"] is None
+    status, result = _json(server.url(f"/jobs/{job['id']}/result"))
+    assert status == 200
+    assert result["signature"] == GOLDEN_SIGNATURE
+    assert result["engine"] == "bsp" and result["workload"] == "micro"
+    assert result["wall_time"] > 0
+    assert abs(sum(result["fractions"].values()) - 1.0) < 1e-6
+    # the listing shows it too
+    status, listing = _json(server.url("/jobs"))
+    assert status == 200
+    assert job["id"] in [j["id"] for j in listing["jobs"]]
+    assert listing["stats"]["executed"] == 1
+
+
+def test_sse_stream_orders_lifecycle_and_carries_phases(server):
+    job = _submit(server, GOLDEN_REQUEST)
+    events = _sse_events(server, job["id"])
+    kinds = [e["event_field"] for e in events]
+    # SSE framing matches the payload's own event kind
+    assert all(e["event_field"] == e["data"]["event"] for e in events)
+    seqs = [e["data"]["seq"] for e in events]
+    assert seqs == sorted(seqs)
+    states = [e["data"]["state"] for e in events
+              if e["data"]["event"] == "state"]
+    assert states == ["QUEUED", "ADMITTED", "RUNNING", "DONE"]
+    # >=1 tracer-derived phase event lands before the terminal done
+    assert "phase" in kinds[:-1]
+    first_phase = next(e["data"] for e in events
+                       if e["data"]["event"] == "phase")
+    assert {"rank", "category", "name", "sim_start",
+            "sim_end"} <= set(first_phase)
+    assert kinds[-1] == "done"
+    assert events[-1]["data"]["state"] == "DONE"
+
+
+def test_sse_since_replays_from_cursor(server):
+    job = _submit(server, GOLDEN_REQUEST)
+    _poll_done(server, job["id"])
+    full = _sse_events(server, job["id"])
+    resumed = _sse_events(server, job["id"],
+                          since=full[2]["data"]["seq"])
+    assert [e["data"]["seq"] for e in resumed] == \
+        [e["data"]["seq"] for e in full[2:]]
+
+
+def test_cache_hit_signature_is_bit_identical_to_fresh(server):
+    first = _submit(server, GOLDEN_REQUEST)
+    _poll_done(server, first["id"])
+    second = _submit(server, GOLDEN_REQUEST)
+    final = _poll_done(server, second["id"])
+    assert final["cache_hit"] and final["cache_source"] == "cache"
+    _, fresh = _json(server.url(f"/jobs/{first['id']}/result"))
+    _, cached = _json(server.url(f"/jobs/{second['id']}/result"))
+    assert cached["signature"] == fresh["signature"] == GOLDEN_SIGNATURE
+    assert cached["cache_hit"] and not fresh["cache_hit"]
+    # a cached job's stream still carries the full lifecycle contract
+    events = _sse_events(server, second["id"])
+    assert events[-1]["data"]["state"] == "DONE"
+
+
+def test_delete_cancels_and_result_reports_gone(server):
+    job = _submit(server, dict(GOLDEN_REQUEST, seed=77))
+    status, body = _json(server.url(f"/jobs/{job['id']}"), "DELETE")
+    assert status == 202
+    final = _poll_done(server, job["id"])
+    assert final["state"] == "CANCELLED"
+    assert final["error"]["type"] == "JobCancelledError"
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _request(server.url(f"/jobs/{job['id']}/result"))
+    assert err.value.code == 410
+    assert json.load(err.value)["error"]["type"] == "JobCancelledError"
+
+
+def test_failed_job_result_carries_typed_error(server):
+    job = _submit(server, {"workload": "ecoli30x", "seed": 0,
+                           "cores_per_node": 4, "faults": "kill=r1@1"})
+    final = _poll_done(server, job["id"])
+    assert final["state"] == "FAILED"
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _request(server.url(f"/jobs/{job['id']}/result"))
+    assert err.value.code == 500
+    assert json.load(err.value)["error"]["type"] == "RankFailureError"
+
+
+# -- error surfaces ----------------------------------------------------------
+
+def test_backlog_full_maps_to_429():
+    queue = RunQueue(slots=1, backlog=1, start=False)  # nothing admits
+    srv = ServiceServer(queue=queue).start()
+    try:
+        _submit(srv, GOLDEN_REQUEST)
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _request(srv.url("/jobs"), "POST",
+                     dict(GOLDEN_REQUEST, seed=99))
+        assert err.value.code == 429
+        assert err.value.headers["Retry-After"] == "1"
+        assert json.load(err.value)["error"] == "QueueFullError"
+    finally:
+        srv.stop()
+        queue.shutdown()
+
+
+def test_result_before_terminal_is_409():
+    queue = RunQueue(slots=1, start=False)  # job stays QUEUED
+    srv = ServiceServer(queue=queue).start()
+    try:
+        job = _submit(srv, GOLDEN_REQUEST)
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _request(srv.url(f"/jobs/{job['id']}/result"))
+        assert err.value.code == 409
+    finally:
+        srv.stop()
+        queue.shutdown()
+
+
+@pytest.mark.parametrize("method,path,body,code", [
+    ("GET", "/jobs/job-999999", None, 404),
+    ("GET", "/jobs/job-999999/result", None, 404),
+    ("DELETE", "/jobs/job-999999", None, 404),
+    ("GET", "/nope", None, 404),
+    ("POST", "/nope", {}, 404),
+    ("POST", "/jobs", {"workload": "no-such-preset"}, 400),
+    ("POST", "/jobs", {"engin": "bsp"}, 400),
+    ("POST", "/jobs", {"engine": "bsp", "kernel": "real"}, 400),
+])
+def test_error_statuses(server, method, path, body, code):
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _request(server.url(path), method, body)
+    assert err.value.code == code
+    assert "error" in json.load(err.value)
+
+
+def test_malformed_json_is_400(server):
+    req = urllib.request.Request(server.url("/jobs"), data=b"{not json",
+                                 method="POST")
+    with pytest.raises(urllib.error.HTTPError) as err:
+        urllib.request.urlopen(req, timeout=10)
+    assert err.value.code == 400
+
+
+def test_healthz(server):
+    status, body = _json(server.url("/healthz"))
+    assert status == 200 and body["ok"] is True
+
+
+# -- the acceptance criterion ------------------------------------------------
+
+def test_e2e_two_concurrent_clients_one_execution_identical_bits(server):
+    """Two clients submit the same workload concurrently: the engine runs
+    once, both receive bit-identical results equal to the pinned golden,
+    and each SSE stream carried a phase event before completion."""
+    barrier = threading.Barrier(2)
+    outcomes: list[dict] = [None, None]
+
+    def client(i: int):
+        barrier.wait()
+        job = _submit(server, GOLDEN_REQUEST)
+        events = _sse_events(server, job["id"])  # blocks until done
+        _, result = _json(server.url(f"/jobs/{job['id']}/result"))
+        outcomes[i] = {"job": job["id"], "events": events,
+                       "result": result}
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in (0, 1)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(WAIT)
+    assert all(outcomes), "a client never completed"
+    sigs = {o["result"]["signature"] for o in outcomes}
+    assert sigs == {GOLDEN_SIGNATURE}
+    key = JobRequest(**{k: v for k, v in GOLDEN_REQUEST.items()}).cache_key()
+    assert server.queue.executions(key) == 1
+    fresh = [o for o in outcomes if not o["result"]["cache_hit"]]
+    assert len(fresh) == 1
+    # the fresh run's stream carried tracer-derived phases pre-completion
+    fresh_kinds = [e["event_field"] for e in fresh[0]["events"]]
+    assert "phase" in fresh_kinds[:-1] and fresh_kinds[-1] == "done"
+
+
+# -- the CLI entry point -----------------------------------------------------
+
+def test_serve_cli_boots_serves_and_stops_cleanly():
+    """``python -m repro serve`` over a real subprocess: boots, answers
+    /healthz, runs one job, and exits 0 on SIGINT."""
+    repo = Path(__file__).parents[1]
+    env = {**os.environ, "PYTHONPATH": str(repo / "src")}
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--slots", "1"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        cwd=repo, env=env, text=True,
+    )
+    try:
+        banner = proc.stdout.readline()
+        assert "listening on http://" in banner
+        base = banner.split("listening on ")[1].split()[0]
+        status, body = _json(f"{base}/healthz")
+        assert status == 200 and body["ok"] is True
+        status, job = _json(f"{base}/jobs", "POST", GOLDEN_REQUEST)
+        assert status == 201
+        deadline = time.monotonic() + WAIT
+        state = None
+        while time.monotonic() < deadline:
+            _, payload = _json(f"{base}/jobs/{job['id']}")
+            state = payload["state"]
+            if state == "DONE":
+                break
+            time.sleep(0.05)
+        assert state == "DONE"
+        _, result = _json(f"{base}/jobs/{job['id']}/result")
+        assert result["signature"] == GOLDEN_SIGNATURE
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            rc = proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            raise AssertionError("serve did not exit on SIGINT")
+    assert rc == 0

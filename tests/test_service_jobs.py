@@ -1,0 +1,292 @@
+"""Job state machine, request canonicalization, and the event log.
+
+The contracts under test (docs/SERVICE.md): every job walks the declared
+lifecycle and nothing else (``JobStateError`` on an illegal move), errors
+are captured *typed*, the cache key covers exactly the result-affecting
+request fields (execution-only and sharding knobs excluded — the layers
+the golden suite pins as bit-identical), and the per-job event log is a
+capped, closable, replayable stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engines.base import EngineConfig
+from repro.errors import (
+    ConfigurationError,
+    JobCancelledError,
+    JobStateError,
+    ServiceError,
+)
+from repro.service import (
+    Job,
+    JobEventLog,
+    JobRequest,
+    JobState,
+    ProgressTracer,
+    known_engines,
+)
+from repro.service.events import PROGRESS_EVERY
+
+
+def _result():
+    """A tiny real RunResult for driving terminal transitions."""
+    from repro.core.api import get_workload, run_alignment
+
+    return run_alignment(get_workload("micro", seed=3), 1, "bsp",
+                         cores_per_node=4)
+
+
+# -- the state machine -------------------------------------------------------
+
+def test_happy_path_walks_declared_lifecycle():
+    job = Job(JobRequest())
+    assert job.state == JobState.QUEUED and not job.done
+    job.mark_admitted()
+    assert job.state == JobState.ADMITTED
+    job.mark_running()
+    assert job.state == JobState.RUNNING
+    job.finish(_result())
+    assert job.state == JobState.DONE and job.done
+    assert job.wait(0.0)  # terminal => wait returns immediately
+    assert job.error is None and not job.cache_hit
+    # timestamps landed in order
+    assert (job.created_at <= job.admitted_at <= job.started_at
+            <= job.finished_at)
+
+
+def test_cache_hit_short_circuits_queued_to_done():
+    job = Job(JobRequest())
+    job.finish(_result(), cache_hit=True, source="cache")
+    assert job.state == JobState.DONE
+    assert job.cache_hit and job.cache_source == "cache"
+
+
+@pytest.mark.parametrize("illegal", [
+    lambda j: j.mark_running(),          # QUEUED -> RUNNING skips ADMITTED
+    lambda j: (j.mark_admitted(), j.mark_admitted()),
+    lambda j: (j.finish(None), j.mark_admitted()),  # out of a terminal
+    lambda j: (j.cancelled("x"), j.finish(None)),
+    lambda j: (j.cancelled("x"), j.fail(ValueError("y"))),
+])
+def test_illegal_transitions_raise_typed(illegal):
+    job = Job(JobRequest())
+    with pytest.raises(JobStateError, match="illegal transition"):
+        illegal(job)
+
+
+def test_failure_is_captured_typed_not_as_traceback():
+    job = Job(JobRequest())
+    job.mark_admitted()
+    job.mark_running()
+    job.fail(ConfigurationError("bad knob"))
+    assert job.state == JobState.FAILED
+    assert job.error == {"type": "ConfigurationError", "message": "bad knob"}
+
+
+def test_cancellation_records_typed_error_and_closes_events():
+    job = Job(JobRequest())
+    job.cancelled("queue shut down")
+    assert job.state == JobState.CANCELLED
+    assert job.error["type"] == "JobCancelledError"
+    assert job.events.closed
+    kinds = [e["event"] for e in job.events.snapshot()]
+    assert kinds[-1] == "done"
+    done = job.events.snapshot()[-1]
+    assert done["state"] == JobState.CANCELLED
+
+
+def test_state_events_mirror_the_machine():
+    job = Job(JobRequest())
+    job.mark_admitted()
+    job.mark_running()
+    job.finish(_result())
+    states = [e["state"] for e in job.events.snapshot()
+              if e["event"] == "state"]
+    assert states == [JobState.QUEUED, JobState.ADMITTED,
+                      JobState.RUNNING, JobState.DONE]
+    seqs = [e["seq"] for e in job.events.snapshot()]
+    assert seqs == sorted(seqs) == list(range(len(seqs)))
+
+
+# -- request validation ------------------------------------------------------
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ConfigurationError, match="unknown request field"):
+        JobRequest.from_dict({"workload": "micro", "engin": "bsp"})
+
+
+def test_unknown_config_override_rejected():
+    with pytest.raises(ConfigurationError, match="unknown EngineConfig"):
+        JobRequest(config={"asyncc_window": 3}).validate()
+
+
+@pytest.mark.parametrize("bad", [
+    {"workload": "nope"},
+    {"engine": "warp"},
+    {"kernel": "cuda"},
+    {"nodes": 0},
+    {"max_resident_shards": 0},
+    {"faults": "kill=banana"},
+    # micro-only knobs on an analytic engine
+    {"engine": "bsp", "kernel": "real"},
+    {"engine": "async", "config": {"backend": "process"}},
+    # message-level engine over a statistical preset
+    {"engine": "bsp-micro", "workload": "ecoli30x"},
+])
+def test_invalid_requests_fail_fast(bad):
+    with pytest.raises(ConfigurationError):
+        JobRequest.from_dict(bad)
+
+
+def test_known_engines_includes_registry_and_auto():
+    names = known_engines()
+    assert "bsp" in names and "async-micro" in names and "auto" in names
+    JobRequest(engine="auto").validate()  # auto is submittable
+
+
+# -- cache-key semantics -----------------------------------------------------
+
+def test_execution_only_knobs_do_not_move_the_key():
+    base = JobRequest(engine="bsp-micro", kernel="real")
+    pool = JobRequest(engine="bsp-micro", kernel="real",
+                      config={"backend": "process", "workers": 4,
+                              "chunk_tasks": 7})
+    assert base.cache_key() == pool.cache_key()
+
+
+def test_sharding_knobs_do_not_move_the_key():
+    base = JobRequest(workload="ecoli30x")
+    sharded = JobRequest(workload="ecoli30x", shard_tasks=5000,
+                         max_resident_shards=2)
+    assert base.cache_key() == sharded.cache_key()
+
+
+def test_priority_is_not_identity():
+    assert (JobRequest(priority=0).cache_key()
+            == JobRequest(priority=9).cache_key())
+
+
+@pytest.mark.parametrize("a,b", [
+    (JobRequest(seed=0), JobRequest(seed=1)),
+    (JobRequest(engine="bsp"), JobRequest(engine="async")),
+    (JobRequest(nodes=2), JobRequest(nodes=4)),
+    (JobRequest(cores_per_node=4), JobRequest(cores_per_node=8)),
+    (JobRequest(), JobRequest(faults="drop=0.05")),
+    (JobRequest(faults="kill=r1@1"), JobRequest(faults="kill=r1@1",
+                                                fault_seed=7)),
+    (JobRequest(), JobRequest(config={"async_window": 3})),
+    (JobRequest(), JobRequest(comm_only=True)),
+    (JobRequest(engine="bsp-micro"), JobRequest(engine="bsp-micro",
+                                                kernel="real")),
+])
+def test_result_affecting_fields_move_the_key(a, b):
+    assert a.cache_key() != b.cache_key()
+
+
+def test_engine_config_defaults_match_golden_construction():
+    # the service must reproduce tools/regen_goldens.py's config exactly:
+    # EngineConfig() defaults, *not* seeded from the workload seed
+    assert JobRequest(seed=11).engine_config() == EngineConfig()
+
+
+# -- the event log -----------------------------------------------------------
+
+def test_event_log_caps_and_marks_truncation():
+    log = JobEventLog(cap=5)
+    for i in range(9):
+        log.append("phase", i=i)
+    events = log.snapshot()
+    kinds = [e["event"] for e in events]
+    assert kinds.count("phase") == 5
+    assert kinds.count("truncated") == 1
+    assert log.dropped == 4
+    # essential kinds still land past the cap
+    log.append("done", state="DONE")
+    assert log.snapshot()[-1]["event"] == "done"
+
+
+def test_event_log_replays_from_since():
+    log = JobEventLog()
+    for i in range(6):
+        log.append("phase", i=i)
+    tail = log.snapshot(since=4)
+    assert [e["seq"] for e in tail] == [4, 5]
+
+
+def test_event_log_stream_ends_after_close():
+    log = JobEventLog()
+    log.append("state", state="QUEUED")
+    log.append("done", state="DONE")
+    log.close()
+    assert [e["event"] for e in log.stream(poll=0.01)] == ["state", "done"]
+    log.append("phase")  # post-close appends are dropped
+    assert len(log) == 2
+
+
+# -- the progress tracer -----------------------------------------------------
+
+def test_progress_tracer_forwards_phases_and_keeps_recording():
+    job = Job(JobRequest())
+    tracer = ProgressTracer(job)
+    tracer.phase(0, "comm", 0.0, 1.0, name="exchange")
+    tracer.phase(1, "compute_align", 0.0, 2.0)
+    forwarded = [e for e in job.events.snapshot() if e["event"] == "phase"]
+    assert [e["name"] for e in forwarded] == ["exchange", "compute_align"]
+    assert forwarded[0]["sim_end"] == 1.0
+    assert len(tracer.events) == 2  # conservation stream intact
+
+
+def test_progress_tracer_strides_the_digest_not_the_record():
+    job = Job(JobRequest())
+    tracer = ProgressTracer(job, phase_stride=3)
+    for i in range(7):
+        tracer.phase(0, "comm", float(i), 1.0)
+    forwarded = [e for e in job.events.snapshot() if e["event"] == "phase"]
+    assert len(forwarded) == 3  # phases 0, 3, 6
+    assert len(tracer.events) == 7
+
+
+def test_progress_tracer_emits_percent_against_prediction():
+    job = Job(JobRequest())
+    tracer = ProgressTracer(job, predicted_wall=float(PROGRESS_EVERY))
+    for i in range(PROGRESS_EVERY):
+        tracer.phase(0, "comm", float(i), 1.0)
+    progress = [e for e in job.events.snapshot() if e["event"] == "progress"]
+    assert len(progress) == 1
+    assert progress[0]["phases"] == PROGRESS_EVERY
+    assert progress[0]["percent"] == 99.0  # capped, never reports 100 early
+
+
+def test_progress_tracer_forwards_fault_and_churn_instants():
+    job = Job(JobRequest())
+    tracer = ProgressTracer(job)
+    tracer.instant(1, "fault_inject", 2.0, kind="kill")
+    tracer.instant(2, "migrate", 3.0, tasks=40)
+    tracer.instant(0, "superstep", 1.0)  # not a service-facing instant
+    kinds = [e["event"] for e in job.events.snapshot()]
+    assert kinds.count("fault") == 1 and kinds.count("churn") == 1
+    assert "superstep" not in kinds
+
+
+def test_progress_tracer_is_the_cancellation_hook():
+    job = Job(JobRequest())
+    tracer = ProgressTracer(job)
+    tracer.phase(0, "comm", 0.0, 1.0)
+    job.request_cancel()
+    with pytest.raises(JobCancelledError, match="cancelled while running"):
+        tracer.phase(0, "comm", 1.0, 1.0)
+    with pytest.raises(JobCancelledError):
+        tracer.counter(0, "inflight", 1.0, 2.0)
+    with pytest.raises(JobCancelledError):
+        tracer.instant(0, "fault_inject", 1.0)
+
+
+def test_service_errors_are_repro_errors():
+    from repro.errors import QueueFullError, ReproError
+
+    for exc in (ServiceError, JobStateError, JobCancelledError,
+                QueueFullError):
+        assert issubclass(exc, ReproError)
+    assert issubclass(JobCancelledError, ServiceError)

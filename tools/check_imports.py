@@ -142,6 +142,13 @@ def banned_imports(graph: dict[str, set[str]]) -> list[str]:
                         f"{name} imports {dep}; repro.utils is the bottom "
                         f"layer and may only import repro.errors"
                     )
+        if not name.startswith("repro.service"):
+            for dep in sorted(deps):
+                if dep.startswith("repro.service"):
+                    problems.append(
+                        f"{name} imports {dep}; repro.service is the top "
+                        f"layer — only the CLI may reach it, and lazily"
+                    )
     return problems
 
 
